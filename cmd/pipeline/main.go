@@ -1,0 +1,153 @@
+// Command pipeline runs the paper's complete workflow end to end on a
+// synthetic corpus or a real directory: qualify an instance, probe across
+// unit file sizes, select the preferred unit, fit a performance model,
+// reshape, plan for the deadline, and execute the plan on the simulated
+// cloud.
+//
+// Usage:
+//
+//	pipeline -app pos -spec text -scale 0.002 -deadline 120
+//	pipeline -app grep -dir ./corpus -deadline 3600
+//	pipeline -app pos -spec text -scale 0.002 -deadline 120 -fit cv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "grep", "application: grep or pos")
+		specName = flag.String("spec", "text", "synthetic corpus: html or text (ignored with -dir)")
+		scale    = flag.Float64("scale", 0.002, "synthetic corpus scale")
+		dir      = flag.String("dir", "", "use a real directory instead of a synthetic corpus")
+		deadline = flag.Float64("deadline", 3600, "deadline in seconds")
+		seed     = flag.Int64("seed", 2011, "random seed")
+		fit      = flag.String("fit", "r2", "model selection: r2, cv or weighted")
+		execute  = flag.Bool("execute", true, "execute the plan on the simulated cloud")
+	)
+	flag.Parse()
+
+	var app workload.App
+	switch *appName {
+	case "grep":
+		app = workload.NewGrep()
+	case "pos":
+		app = workload.NewPOS()
+	default:
+		fmt.Fprintf(os.Stderr, "pipeline: unknown app %q (grep or pos)\n", *appName)
+		os.Exit(2)
+	}
+	var method core.FitMethod
+	switch *fit {
+	case "r2":
+		method = core.FitBestR2
+	case "cv":
+		method = core.FitCrossValidated
+	case "weighted":
+		method = core.FitWeighted
+	default:
+		fmt.Fprintf(os.Stderr, "pipeline: unknown fit method %q (r2, cv or weighted)\n", *fit)
+		os.Exit(2)
+	}
+
+	var fs *vfs.FS
+	var err error
+	if *dir != "" {
+		fs, err = vfs.ImportDir(*dir)
+	} else {
+		var spec corpus.Spec
+		switch *specName {
+		case "html":
+			spec = corpus.HTML18Mil(*scale)
+		case "text":
+			spec = corpus.Text400K(*scale)
+		default:
+			fmt.Fprintf(os.Stderr, "pipeline: unknown spec %q (html or text)\n", *specName)
+			os.Exit(2)
+		}
+		fs, err = corpus.Generate(spec, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("corpus: %d files, %d bytes\n", fs.Len(), fs.TotalSize())
+
+	// Scale the probe protocol to the corpus: escalate from ~1/100 of the
+	// volume, cap at the corpus size.
+	initial := fs.TotalSize() / 100
+	if initial < 100_000 {
+		initial = 100_000
+	}
+	if s0 := pickS0(fs); s0*5 > fs.TotalSize() {
+		fmt.Printf("note: base unit %d bytes is large relative to the corpus; the unit-size sweep will be coarse\n", s0)
+	}
+	p, err := core.New(core.Config{
+		Seed:            *seed,
+		App:             app,
+		DeadlineSeconds: *deadline,
+		InitialVolume:   initial,
+		MaxVolume:       fs.TotalSize(),
+		S0:              pickS0(fs),
+		Multiples:       []int{10, 100},
+		FitMethod:       method,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := p.Run(fs)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("qualified instance: %s after %d attempt(s)\n", res.Instance.ID, res.QualificationAttempts)
+	if res.PreferredUnit == 0 {
+		fmt.Println("preferred shape: original segmentation (merging buys nothing)")
+	} else {
+		fmt.Printf("preferred shape: %d-byte unit files (%d units from %d files)\n",
+			res.PreferredUnit, len(res.ReshapedBins), fs.Len())
+	}
+	fmt.Printf("model: %v\n", res.Model)
+	fmt.Printf("adjustment: %v\n", res.Adjustment)
+	fmt.Printf("plan: %d instance(s), %.0f instance-hours, est. $%.3f (deadline %.0fs, planned %.0fs)\n",
+		res.Plan.Instances, res.Plan.InstanceHours(), res.Plan.EstimatedCost,
+		res.Plan.RequestedDeadline, res.Plan.Deadline)
+
+	if !*execute {
+		return
+	}
+	out, err := p.Execute(res)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("executed: makespan %.1fs, %d/%d missed, actual $%.3f\n",
+		out.MakespanS, out.Missed, len(out.PerInstance), out.ActualCost)
+}
+
+// pickS0 chooses a base probe unit comfortably above the largest file, as
+// §4 prescribes, rounded to a power of ten.
+func pickS0(fs *vfs.FS) int64 {
+	var maxSize int64
+	for _, s := range fs.Sizes() {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	s0 := int64(10)
+	for s0 <= maxSize {
+		s0 *= 10
+	}
+	return s0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipeline:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,299 @@
+// Package binpack implements the bin-packing heuristics the paper uses to
+// reshape corpora: first-fit in original order (the order the paper keeps
+// for POS scheduling, §5.2), first-fit decreasing, the subset-sum first-fit
+// heuristic [Vazirani 2003] used to build probe sets (§4), and least-loaded
+// balancing for the uniform-bins improvement of Fig. 8(b).
+//
+// Items are (ID, Size) pairs; packing never splits an item — the paper's
+// files are unsplittable units, so an item larger than the bin capacity gets
+// a dedicated oversized bin rather than an error.
+package binpack
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item is an unsplittable unit of data to pack, typically one input file.
+type Item struct {
+	ID   string
+	Size int64
+}
+
+// Bin is a set of items packed against a capacity.
+type Bin struct {
+	Capacity  int64
+	Items     []Item
+	Used      int64
+	Oversized bool // single item exceeding the capacity
+}
+
+// Free returns the remaining capacity (negative for oversized bins).
+func (b *Bin) Free() int64 { return b.Capacity - b.Used }
+
+// FillFraction returns Used/Capacity (may exceed 1 for oversized bins).
+func (b *Bin) FillFraction() float64 {
+	if b.Capacity == 0 {
+		return 0
+	}
+	return float64(b.Used) / float64(b.Capacity)
+}
+
+func (b *Bin) add(it Item) {
+	b.Items = append(b.Items, it)
+	b.Used += it.Size
+}
+
+func validate(items []Item, capacity int64) error {
+	if capacity <= 0 {
+		return fmt.Errorf("binpack: capacity must be positive, got %d", capacity)
+	}
+	for i, it := range items {
+		if it.Size < 0 {
+			return fmt.Errorf("binpack: item %d (%q) has negative size %d", i, it.ID, it.Size)
+		}
+	}
+	return nil
+}
+
+// FirstFit packs the items, in the order given, each into the first open bin
+// with room, opening a new bin when none fits. This is the ordering the
+// paper deliberately keeps for the POS workload so that large files do not
+// cluster in the first bins (§5.2).
+func FirstFit(items []Item, capacity int64) ([]*Bin, error) {
+	if err := validate(items, capacity); err != nil {
+		return nil, err
+	}
+	var bins []*Bin
+	for _, it := range items {
+		if it.Size > capacity {
+			bins = append(bins, &Bin{Capacity: capacity, Items: []Item{it}, Used: it.Size, Oversized: true})
+			continue
+		}
+		placed := false
+		for _, b := range bins {
+			if !b.Oversized && b.Free() >= it.Size {
+				b.add(it)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			nb := &Bin{Capacity: capacity}
+			nb.add(it)
+			bins = append(bins, nb)
+		}
+	}
+	return bins, nil
+}
+
+// FirstFitDecreasing sorts items by decreasing size (stable, so equal-size
+// items keep their relative order) before running FirstFit. It packs tighter
+// but, as the paper notes, concentrates large files in the early bins.
+func FirstFitDecreasing(items []Item, capacity int64) ([]*Bin, error) {
+	sorted := append([]Item(nil), items...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Size > sorted[j].Size })
+	return FirstFit(sorted, capacity)
+}
+
+// SubsetSumFirstFit packs items using the subset-sum first-fit heuristic the
+// paper cites for probe construction: bins are filled one at a time, each
+// with a greedy approximation of the fullest subset of the remaining items
+// (scan remaining items in decreasing size order, take everything that still
+// fits). The greedy scan guarantees each closed bin is at least half full
+// whenever enough data remains.
+func SubsetSumFirstFit(items []Item, capacity int64) ([]*Bin, error) {
+	if err := validate(items, capacity); err != nil {
+		return nil, err
+	}
+	// Indices sorted by decreasing size; used holds consumed items.
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return items[order[a]].Size > items[order[b]].Size })
+	used := make([]bool, len(items))
+	remaining := len(items)
+
+	var bins []*Bin
+	for remaining > 0 {
+		b := &Bin{Capacity: capacity}
+		for _, idx := range order {
+			if used[idx] {
+				continue
+			}
+			it := items[idx]
+			if it.Size > capacity {
+				// Oversized items are emitted as their own bins immediately.
+				bins = append(bins, &Bin{Capacity: capacity, Items: []Item{it}, Used: it.Size, Oversized: true})
+				used[idx] = true
+				remaining--
+				continue
+			}
+			if b.Free() >= it.Size {
+				b.add(it)
+				used[idx] = true
+				remaining--
+			}
+		}
+		if len(b.Items) > 0 {
+			bins = append(bins, b)
+		}
+	}
+	return bins, nil
+}
+
+// LeastLoaded distributes items across exactly n bins, always placing the
+// next item into the currently least-loaded bin. With items pre-sorted by
+// decreasing size this is the LPT rule; the paper's "uniform bins"
+// improvement (Fig. 8(b)) corresponds to balanced bins of volume ≈ V/n.
+func LeastLoaded(items []Item, n int) ([]*Bin, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("binpack: bin count must be positive, got %d", n)
+	}
+	for i, it := range items {
+		if it.Size < 0 {
+			return nil, fmt.Errorf("binpack: item %d (%q) has negative size %d", i, it.ID, it.Size)
+		}
+	}
+	var total int64
+	for _, it := range items {
+		total += it.Size
+	}
+	capacity := total / int64(n)
+	if total%int64(n) != 0 {
+		capacity++
+	}
+	if capacity == 0 {
+		capacity = 1
+	}
+	bins := make([]*Bin, n)
+	for i := range bins {
+		bins[i] = &Bin{Capacity: capacity}
+	}
+	for _, it := range items {
+		best := 0
+		for i := 1; i < n; i++ {
+			if bins[i].Used < bins[best].Used {
+				best = i
+			}
+		}
+		bins[best].add(it)
+	}
+	// ⌈V/n⌉ is a balancing target, not a hard cap: item granularity can
+	// overshoot it slightly. Widen capacities to the realised maximum so
+	// the packing invariants hold.
+	var maxUsed int64
+	for _, b := range bins {
+		if b.Used > maxUsed {
+			maxUsed = b.Used
+		}
+	}
+	if maxUsed > capacity {
+		for _, b := range bins {
+			b.Capacity = maxUsed
+		}
+	}
+	return bins, nil
+}
+
+// LeastLoadedDecreasing sorts items by decreasing size before LeastLoaded
+// (the classic LPT balancing rule, tighter max-bin bounds).
+func LeastLoadedDecreasing(items []Item, n int) ([]*Bin, error) {
+	sorted := append([]Item(nil), items...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Size > sorted[j].Size })
+	return LeastLoaded(sorted, n)
+}
+
+// Stats summarises the quality of a packing.
+type Stats struct {
+	Bins          int
+	Oversized     int
+	TotalVolume   int64
+	TotalCapacity int64
+	MinUsed       int64
+	MaxUsed       int64
+	MeanFill      float64 // mean fill fraction over non-oversized bins
+}
+
+// Summarize computes packing-quality statistics.
+func Summarize(bins []*Bin) Stats {
+	s := Stats{Bins: len(bins)}
+	if len(bins) == 0 {
+		return s
+	}
+	s.MinUsed = bins[0].Used
+	var fillSum float64
+	regular := 0
+	for _, b := range bins {
+		s.TotalVolume += b.Used
+		s.TotalCapacity += b.Capacity
+		if b.Used < s.MinUsed {
+			s.MinUsed = b.Used
+		}
+		if b.Used > s.MaxUsed {
+			s.MaxUsed = b.Used
+		}
+		if b.Oversized {
+			s.Oversized++
+		} else {
+			fillSum += b.FillFraction()
+			regular++
+		}
+	}
+	if regular > 0 {
+		s.MeanFill = fillSum / float64(regular)
+	}
+	return s
+}
+
+// TotalSize returns the summed size of the items.
+func TotalSize(items []Item) int64 {
+	var total int64
+	for _, it := range items {
+		total += it.Size
+	}
+	return total
+}
+
+// Verify checks the packing invariants: every input item appears in exactly
+// one bin, bin Used fields match their contents, and no non-oversized bin
+// exceeds its capacity. It returns a descriptive error on the first
+// violation. Tests and the probe harness call this after every pack.
+func Verify(items []Item, bins []*Bin) error {
+	want := make(map[string]int64, len(items))
+	for _, it := range items {
+		if _, dup := want[it.ID]; dup {
+			return fmt.Errorf("binpack: duplicate item ID %q in input", it.ID)
+		}
+		want[it.ID] = it.Size
+	}
+	seen := make(map[string]bool, len(items))
+	for bi, b := range bins {
+		var used int64
+		for _, it := range b.Items {
+			size, ok := want[it.ID]
+			if !ok {
+				return fmt.Errorf("binpack: bin %d contains unknown item %q", bi, it.ID)
+			}
+			if size != it.Size {
+				return fmt.Errorf("binpack: item %q size changed: %d -> %d", it.ID, size, it.Size)
+			}
+			if seen[it.ID] {
+				return fmt.Errorf("binpack: item %q packed twice", it.ID)
+			}
+			seen[it.ID] = true
+			used += it.Size
+		}
+		if used != b.Used {
+			return fmt.Errorf("binpack: bin %d Used=%d but contents sum to %d", bi, b.Used, used)
+		}
+		if !b.Oversized && b.Used > b.Capacity {
+			return fmt.Errorf("binpack: bin %d overfull: %d > %d", bi, b.Used, b.Capacity)
+		}
+	}
+	if len(seen) != len(want) {
+		return fmt.Errorf("binpack: packed %d of %d items", len(seen), len(want))
+	}
+	return nil
+}

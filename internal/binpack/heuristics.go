@@ -1,0 +1,73 @@
+package binpack
+
+import "sort"
+
+// Additional classical heuristics, used by the ablation benchmarks to
+// situate the paper's choices: NextFit (the cheapest possible packer),
+// BestFit (tightest per-item placement) and BestFitDecreasing.
+
+// NextFit packs items in order, keeping only the latest bin open: an item
+// that does not fit closes the bin and opens a new one. O(n), the weakest
+// quality bound (2·OPT), but the only heuristic with streaming behaviour —
+// relevant when the corpus cannot be held in memory.
+func NextFit(items []Item, capacity int64) ([]*Bin, error) {
+	if err := validate(items, capacity); err != nil {
+		return nil, err
+	}
+	var bins []*Bin
+	var open *Bin
+	for _, it := range items {
+		if it.Size > capacity {
+			bins = append(bins, &Bin{Capacity: capacity, Items: []Item{it}, Used: it.Size, Oversized: true})
+			continue
+		}
+		if open == nil || open.Free() < it.Size {
+			open = &Bin{Capacity: capacity}
+			bins = append(bins, open)
+		}
+		open.add(it)
+	}
+	return bins, nil
+}
+
+// BestFit places each item into the open bin with the least remaining
+// space that still fits it, opening a new bin when none does.
+func BestFit(items []Item, capacity int64) ([]*Bin, error) {
+	if err := validate(items, capacity); err != nil {
+		return nil, err
+	}
+	var bins []*Bin
+	for _, it := range items {
+		if it.Size > capacity {
+			bins = append(bins, &Bin{Capacity: capacity, Items: []Item{it}, Used: it.Size, Oversized: true})
+			continue
+		}
+		best := -1
+		var bestFree int64
+		for i, b := range bins {
+			if b.Oversized {
+				continue
+			}
+			free := b.Free()
+			if free >= it.Size && (best == -1 || free < bestFree) {
+				best = i
+				bestFree = free
+			}
+		}
+		if best == -1 {
+			nb := &Bin{Capacity: capacity}
+			nb.add(it)
+			bins = append(bins, nb)
+			continue
+		}
+		bins[best].add(it)
+	}
+	return bins, nil
+}
+
+// BestFitDecreasing sorts items by decreasing size (stable) before BestFit.
+func BestFitDecreasing(items []Item, capacity int64) ([]*Bin, error) {
+	sorted := append([]Item(nil), items...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Size > sorted[j].Size })
+	return BestFit(sorted, capacity)
+}

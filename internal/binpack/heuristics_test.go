@@ -1,0 +1,136 @@
+package binpack
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextFitStreamsForward(t *testing.T) {
+	items := mkItems(6, 6, 6) // capacity 10: every item closes the bin
+	bins, err := NextFit(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(items, bins); err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 3 {
+		t.Errorf("bins = %d, want 3 (NextFit never looks back)", len(bins))
+	}
+	// A trailing small item fits an earlier *closed* bin: FF reuses bin 0,
+	// NF cannot look back.
+	items2 := mkItems(6, 9, 3)
+	nf, _ := NextFit(items2, 10)
+	ff, _ := FirstFit(items2, 10)
+	if len(nf) != 3 || len(ff) != 2 {
+		t.Errorf("NF=%d FF=%d, want 3 and 2", len(nf), len(ff))
+	}
+}
+
+func TestBestFitTighterThanFirstFit(t *testing.T) {
+	// FF puts 3 into bin0 (free 4); BF puts it into bin1 (free 3),
+	// leaving bin0 able to take the final 4.
+	items := mkItems(6, 7, 3, 4)
+	ff, err := FirstFit(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := BestFit(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(items, bf); err != nil {
+		t.Fatal(err)
+	}
+	if len(bf) != 2 || len(ff) != 3 {
+		t.Errorf("BF=%d FF=%d, want 2 and 3", len(bf), len(ff))
+	}
+}
+
+func TestBestFitDecreasing(t *testing.T) {
+	items := mkItems(1, 9, 1, 9, 1, 9, 1, 9)
+	bins, err := BestFitDecreasing(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(items, bins); err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 4 {
+		t.Errorf("BFD bins = %d, want 4", len(bins))
+	}
+}
+
+func TestNewHeuristicsOversized(t *testing.T) {
+	items := mkItems(15, 5)
+	for name, pack := range map[string]func([]Item, int64) ([]*Bin, error){
+		"nextfit": NextFit, "bestfit": BestFit, "bfd": BestFitDecreasing,
+	} {
+		bins, err := pack(items, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := Verify(items, bins); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		oversized := 0
+		for _, b := range bins {
+			if b.Oversized {
+				oversized++
+			}
+		}
+		if oversized != 1 {
+			t.Errorf("%s: oversized = %d", name, oversized)
+		}
+	}
+}
+
+func TestNewHeuristicsValidation(t *testing.T) {
+	for name, pack := range map[string]func([]Item, int64) ([]*Bin, error){
+		"nextfit": NextFit, "bestfit": BestFit,
+	} {
+		if _, err := pack(mkItems(1), 0); err == nil {
+			t.Errorf("%s: expected error for zero capacity", name)
+		}
+		if _, err := pack([]Item{{ID: "x", Size: -1}}, 5); err == nil {
+			t.Errorf("%s: expected error for negative size", name)
+		}
+	}
+}
+
+// Property: the new heuristics conserve items and respect capacities, and
+// their bin counts are ordered NF ≥ FF ≥ never-less-than-lower-bound.
+func TestHeuristicOrderingProperty(t *testing.T) {
+	f := func(rawSizes []uint8) bool {
+		const capacity = 100
+		items := make([]Item, len(rawSizes))
+		var total int64
+		for i, s := range rawSizes {
+			size := int64(s%100) + 1
+			items[i] = Item{ID: fmt.Sprintf("h%d", i), Size: size}
+			total += size
+		}
+		nf, err := NextFit(items, capacity)
+		if err != nil || Verify(items, nf) != nil {
+			return false
+		}
+		ff, err := FirstFit(items, capacity)
+		if err != nil || Verify(items, ff) != nil {
+			return false
+		}
+		bf, err := BestFit(items, capacity)
+		if err != nil || Verify(items, bf) != nil {
+			return false
+		}
+		lower := (total + capacity - 1) / capacity
+		if int64(len(bf)) < lower || int64(len(ff)) < lower || int64(len(nf)) < lower {
+			return false
+		}
+		// NextFit never beats FirstFit.
+		return len(nf) >= len(ff)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package cloudsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Data-transfer pricing and retrieval timing, 2010-era AWS shapes. The
+// paper's §1 cost argument rests on these: "the per-byte transferred cost
+// being constant, the main benefit results from saved compute time", while
+// a less segmented output "speeds up the task of retrieving the results"
+// because each object retrieval pays a fixed request overhead.
+
+// TransferPricing holds the per-byte and per-request charges.
+type TransferPricing struct {
+	// InPerGB is the charge for data transferred into AWS ($/GB).
+	InPerGB float64
+	// OutPerGB is the charge for data transferred out ($/GB), first tier.
+	OutPerGB float64
+	// GetPer10k is the S3 GET request charge per 10,000 requests.
+	GetPer10k float64
+	// PutPer1k is the S3 PUT request charge per 1,000 requests.
+	PutPer1k float64
+}
+
+// DefaultTransferPricing mirrors the 2010 US-east price card.
+var DefaultTransferPricing = TransferPricing{
+	InPerGB:   0.10,
+	OutPerGB:  0.15,
+	GetPer10k: 0.01,
+	PutPer1k:  0.01,
+}
+
+// TransferCost returns the dollar cost of moving a dataset of totalBytes
+// split across `objects` files in the given direction ("in" or "out"),
+// including per-request charges. The byte component is independent of the
+// segmentation — the paper's "constant per-byte cost" — while the request
+// component scales with the file count.
+func (p TransferPricing) TransferCost(totalBytes int64, objects int, direction string) (float64, error) {
+	if totalBytes < 0 || objects < 0 {
+		return 0, fmt.Errorf("cloudsim: negative transfer inputs (%d bytes, %d objects)", totalBytes, objects)
+	}
+	gb := float64(totalBytes) / 1e9
+	var perGB, perReq float64
+	switch direction {
+	case "in":
+		perGB = p.InPerGB
+		perReq = p.PutPer1k / 1000
+	case "out":
+		perGB = p.OutPerGB
+		perReq = p.GetPer10k / 10000
+	default:
+		return 0, fmt.Errorf("cloudsim: unknown transfer direction %q", direction)
+	}
+	return gb*perGB + float64(objects)*perReq, nil
+}
+
+// RetrievalModel times the collection of application outputs: each object
+// pays a fixed request latency plus streaming at the link bandwidth. With
+// millions of small outputs the request term dominates — the mechanism
+// behind the paper's claim that reshaping "speeds up the task of
+// retrieving the results ... by having the output be less segmented".
+type RetrievalModel struct {
+	// PerObject is the fixed per-object request overhead.
+	PerObject time.Duration
+	// LinkMBps is the sustained download bandwidth.
+	LinkMBps float64
+	// Concurrency is how many requests proceed in parallel.
+	Concurrency int
+}
+
+// DefaultRetrievalModel matches a 2010 download client: ~80 ms per request,
+// 20 MB/s link, 8-way parallel requests.
+var DefaultRetrievalModel = RetrievalModel{
+	PerObject:   80 * time.Millisecond,
+	LinkMBps:    20,
+	Concurrency: 8,
+}
+
+// RetrievalTime estimates the wall-clock time to fetch totalBytes split
+// across `objects` files.
+func (m RetrievalModel) RetrievalTime(totalBytes int64, objects int) (time.Duration, error) {
+	if totalBytes < 0 || objects < 0 {
+		return 0, fmt.Errorf("cloudsim: negative retrieval inputs (%d bytes, %d objects)", totalBytes, objects)
+	}
+	if objects == 0 {
+		return 0, nil
+	}
+	conc := m.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	requestTime := time.Duration(float64(m.PerObject) * float64(objects) / float64(conc))
+	streamTime := EstimateTransfer(totalBytes, m.LinkMBps)
+	return requestTime + streamTime, nil
+}
+
+// RetrievalSpeedup compares retrieval of the same volume at two
+// segmentations, returning t(before)/t(after) — the quantified benefit of
+// reshaping the *output*.
+func (m RetrievalModel) RetrievalSpeedup(totalBytes int64, objectsBefore, objectsAfter int) (float64, error) {
+	before, err := m.RetrievalTime(totalBytes, objectsBefore)
+	if err != nil {
+		return 0, err
+	}
+	after, err := m.RetrievalTime(totalBytes, objectsAfter)
+	if err != nil {
+		return 0, err
+	}
+	if after == 0 {
+		return 0, fmt.Errorf("cloudsim: zero retrieval time after reshaping")
+	}
+	return float64(before) / float64(after), nil
+}

@@ -1,0 +1,104 @@
+package cloudsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTransferCostPerByteConstant(t *testing.T) {
+	p := DefaultTransferPricing
+	// Same bytes, different segmentation: the byte component is identical;
+	// only request charges differ (the paper's §1 argument).
+	few, err := p.TransferCost(10_000_000_000, 100, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := p.TransferCost(10_000_000_000, 2_000_000, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byteComponent := 10.0 * p.OutPerGB
+	if few < byteComponent || many < byteComponent {
+		t.Errorf("costs below the constant byte component: %v, %v < %v", few, many, byteComponent)
+	}
+	if many <= few {
+		t.Error("more objects should cost more in request charges")
+	}
+	wantDelta := (2_000_000 - 100) * p.GetPer10k / 10000
+	if math.Abs((many-few)-wantDelta) > 1e-9 {
+		t.Errorf("request delta = %v, want %v", many-few, wantDelta)
+	}
+}
+
+func TestTransferCostDirections(t *testing.T) {
+	p := DefaultTransferPricing
+	in, err := p.TransferCost(1_000_000_000, 10, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.TransferCost(1_000_000_000, 10, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out <= in {
+		t.Errorf("out (%v) should exceed in (%v) at 2010 rates", out, in)
+	}
+	if _, err := p.TransferCost(1, 1, "sideways"); err == nil {
+		t.Error("expected error for unknown direction")
+	}
+	if _, err := p.TransferCost(-1, 1, "in"); err == nil {
+		t.Error("expected error for negative bytes")
+	}
+	if zero, err := p.TransferCost(0, 0, "in"); err != nil || zero != 0 {
+		t.Errorf("zero transfer = %v, %v", zero, err)
+	}
+}
+
+func TestRetrievalTimeSegmentationDominates(t *testing.T) {
+	m := DefaultRetrievalModel
+	const volume = 1_000_000_000 // 1 GB of output
+	// 1 GB as 1M tiny files vs 10 unit files.
+	many, err := m.RetrievalTime(volume, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few, err := m.RetrievalTime(volume, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many <= few {
+		t.Error("segmented retrieval not slower")
+	}
+	// The request term for 1M objects at 80ms/8-way = 10,000s >> 50s of
+	// streaming: the fixed cost dominates.
+	if many < 2*few {
+		t.Errorf("segmentation penalty too small: %v vs %v", many, few)
+	}
+	speedup, err := m.RetrievalSpeedup(volume, 1_000_000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup < 2 {
+		t.Errorf("speedup = %v, want large", speedup)
+	}
+}
+
+func TestRetrievalTimeEdgeCases(t *testing.T) {
+	m := DefaultRetrievalModel
+	if d, err := m.RetrievalTime(0, 0); err != nil || d != 0 {
+		t.Errorf("empty retrieval = %v, %v", d, err)
+	}
+	if _, err := m.RetrievalTime(-1, 1); err == nil {
+		t.Error("expected error for negative bytes")
+	}
+	// Zero concurrency falls back to serial.
+	serial := RetrievalModel{PerObject: time.Second, LinkMBps: 100, Concurrency: 0}
+	d, err := serial.RetrievalTime(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3*time.Second {
+		t.Errorf("serial retrieval = %v, want 3s", d)
+	}
+}

@@ -1,0 +1,386 @@
+// Package core orchestrates the paper's complete workflow as a single
+// pipeline, the library's primary entry point:
+//
+//  1. acquire a stable, well-performing instance (bonnie++ qualification, §4);
+//  2. probe the application across volumes and unit file sizes (§4);
+//  3. select the preferred unit file size (plateau analysis, §4);
+//  4. fit performance-model candidates and keep the best (§5);
+//  5. reshape the corpus to the preferred unit size (subset-sum first fit);
+//  6. build a deadline-meeting, cost-minimising execution plan with the
+//     residual-based deadline adjustment (§5.2);
+//  7. optionally execute the plan on the simulated cloud.
+//
+// Each stage is also callable on its own; the pipeline only sequences them.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/binpack"
+	"repro/internal/cloudsim"
+	"repro/internal/corpus"
+	"repro/internal/perfmodel"
+	"repro/internal/probe"
+	"repro/internal/provision"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+// Config parameterises a pipeline run. Zero values get the paper's
+// defaults where they exist.
+type Config struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// App is the application cost model under study.
+	App workload.App
+	// Zone to provision in; defaults to the region's first zone.
+	Zone string
+	// InitialVolume, Growth, MaxVolume and StableCV configure the §4
+	// escalation protocol. Defaults: 1 MB, x10, 1 GB, 0.15.
+	InitialVolume int64
+	Growth        int64
+	MaxVolume     int64
+	StableCV      float64
+	// S0 is the base unit size for probe reshaping; Multiples derives the
+	// others. Defaults: 1 MB and {2, 5, 10, 50, 100}.
+	S0        int64
+	Multiples []int
+	// PlateauTol is the relative tolerance for plateau membership (§4
+	// analysis). Default 0.05.
+	PlateauTol float64
+	// DeadlineSeconds is the user deadline D.
+	DeadlineSeconds float64
+	// MissProb is the accepted deadline-miss probability for the §5.2
+	// adjustment. Default 0.10.
+	MissProb float64
+	// Rate is the flat hourly price. Default $0.085.
+	Rate float64
+	// MaxInstances caps the plan (0 = uncapped).
+	MaxInstances int
+	// FitMethod selects how the performance model is chosen. Default
+	// FitBestR2, the paper's procedure.
+	FitMethod FitMethod
+}
+
+// FitMethod selects the model-fitting strategy of stage 4.
+type FitMethod int
+
+// Fit methods.
+const (
+	// FitBestR2 fits every family and keeps the best in-sample R² — the
+	// paper's §5 procedure.
+	FitBestR2 FitMethod = iota
+	// FitCrossValidated selects the family by k-fold cross-validation on
+	// held-out relative error (more robust for flexible families).
+	FitCrossValidated
+	// FitWeighted fits the affine family with volume-proportional weights,
+	// the paper's §7 extension "demanding closer fits in the large data
+	// volume range".
+	FitWeighted
+)
+
+func (c *Config) fillDefaults() {
+	if c.Zone == "" {
+		c.Zone = cloudsim.USEast.Zones[0]
+	}
+	if c.InitialVolume == 0 {
+		c.InitialVolume = 1_000_000
+	}
+	if c.Growth == 0 {
+		c.Growth = 10
+	}
+	if c.MaxVolume == 0 {
+		c.MaxVolume = 1_000_000_000
+	}
+	if c.StableCV == 0 {
+		c.StableCV = 0.15
+	}
+	if c.S0 == 0 {
+		c.S0 = 1_000_000
+	}
+	if c.Multiples == nil {
+		c.Multiples = []int{2, 5, 10, 50, 100}
+	}
+	if c.PlateauTol == 0 {
+		c.PlateauTol = 0.05
+	}
+	if c.MissProb == 0 {
+		c.MissProb = 0.10
+	}
+	if c.Rate == 0 {
+		c.Rate = 0.085
+	}
+}
+
+// Result carries every artefact the pipeline produced.
+type Result struct {
+	// Instance is the qualified measurement instance.
+	Instance *cloudsim.Instance
+	// QualificationAttempts is how many instances were tried.
+	QualificationAttempts int
+	// ProbeSets holds all measurements, one slice per escalation volume.
+	ProbeSets [][]probe.Measurement
+	// PreferredUnit is the selected unit file size (0 = keep the original
+	// segmentation, the POS outcome).
+	PreferredUnit int64
+	// Model is the best-fitting performance model at the preferred unit.
+	Model perfmodel.Model
+	// Candidates are all fitted model families.
+	Candidates []perfmodel.Model
+	// Adjustment is the §5.2 residual-based deadline derating.
+	Adjustment perfmodel.Adjustment
+	// ReshapedBins is the full corpus packed at the preferred unit size
+	// (nil when the original segmentation was kept).
+	ReshapedBins []*binpack.Bin
+	// Plan is the provisioning plan for the configured deadline.
+	Plan *provision.Plan
+	// Complexity is the per-file complexity map of a profiled run (nil
+	// for uniform corpora).
+	Complexity map[string]float64
+}
+
+// MeanComplexity returns the size-weighted mean complexity of the corpus
+// the result was computed over (1.0 when no profile was used).
+func (r *Result) MeanComplexity(items []binpack.Item) float64 {
+	if r.Complexity == nil {
+		return 1
+	}
+	var weighted, total float64
+	for _, it := range items {
+		c := r.Complexity[it.ID]
+		if c <= 0 {
+			c = 1
+		}
+		weighted += c * float64(it.Size)
+		total += float64(it.Size)
+	}
+	if total == 0 {
+		return 1
+	}
+	return weighted / total
+}
+
+// Pipeline runs the stages against one cloud.
+type Pipeline struct {
+	Cloud  *cloudsim.Cloud
+	Config Config
+}
+
+// New creates a pipeline with its own simulated cloud.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.App == nil {
+		return nil, fmt.Errorf("core: Config.App is required")
+	}
+	if cfg.DeadlineSeconds <= 0 {
+		return nil, fmt.Errorf("core: Config.DeadlineSeconds must be positive")
+	}
+	cfg.fillDefaults()
+	return &Pipeline{Cloud: cloudsim.New(cfg.Seed), Config: cfg}, nil
+}
+
+// ItemsFromFS converts a corpus to packable items in deterministic order.
+func ItemsFromFS(fs *vfs.FS) []binpack.Item {
+	files := fs.List()
+	items := make([]binpack.Item, len(files))
+	for i, f := range files {
+		items[i] = binpack.Item{ID: f.Name, Size: f.Size}
+	}
+	return items
+}
+
+// Run executes the full pipeline over a uniform-complexity corpus.
+func (p *Pipeline) Run(corpusFS *vfs.FS) (*Result, error) {
+	return p.run(corpusFS, nil)
+}
+
+// RunProfile executes the pipeline over a heterogeneous-complexity corpus:
+// probe measurements and plan predictions carry each file's complexity, so
+// the calibration honestly reflects what the workload will cost (§5.2's
+// closing observation). The profile's complexity map keys must match the
+// corpus file names.
+func (p *Pipeline) RunProfile(profile *corpus.Profile) (*Result, error) {
+	if profile == nil || profile.FS == nil {
+		return nil, fmt.Errorf("core: nil profile")
+	}
+	return p.run(profile.FS, profile.Complexity)
+}
+
+func (p *Pipeline) run(corpusFS *vfs.FS, complexity map[string]float64) (*Result, error) {
+	items := ItemsFromFS(corpusFS)
+	if len(items) == 0 {
+		return nil, fmt.Errorf("core: empty corpus")
+	}
+	res := &Result{Complexity: complexity}
+
+	// Stage 1: qualified instance (§4).
+	in, attempts, err := p.Cloud.AcquireQualified(cloudsim.Small, p.Config.Zone, 50)
+	if err != nil {
+		return nil, fmt.Errorf("core: qualification: %w", err)
+	}
+	res.Instance = in
+	res.QualificationAttempts = attempts
+
+	// Stage 2: escalating probes (§4).
+	harness := probe.NewHarness(p.Cloud, in, p.Config.App, workload.Local{})
+	protocol := &probe.Protocol{
+		Harness:       harness,
+		InitialVolume: p.Config.InitialVolume,
+		Growth:        p.Config.Growth,
+		MaxVolume:     p.Config.MaxVolume,
+		StableCV:      p.Config.StableCV,
+		S0:            p.Config.S0,
+		Multiples:     p.Config.Multiples,
+		MinSets:       3, // the regression needs multiple volumes
+		Complexity:    complexity,
+	}
+	probeRes, err := protocol.Run(items)
+	if err != nil {
+		return nil, fmt.Errorf("core: probing: %w", err)
+	}
+	if len(probeRes.Sets) == 0 {
+		return nil, fmt.Errorf("core: probing produced no measurements")
+	}
+	res.ProbeSets = probeRes.Sets
+
+	// Stage 3: preferred unit size from the most stable (last) probe set.
+	last := probeRes.Sets[len(probeRes.Sets)-1]
+	unit, err := probe.PickPreferredUnit(last, p.Config.PlateauTol)
+	if err != nil {
+		return nil, fmt.Errorf("core: unit selection: %w", err)
+	}
+	res.PreferredUnit = unit
+
+	// Stage 4: fit models on the preferred unit's measurements (§5). Every
+	// individual run is a calibration point — the repeats carry the
+	// residual spread the §5.2 deadline adjustment needs.
+	xs, ys := probe.AllRunsPoints(probeRes.Sets, unit)
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("core: only %d calibration points at unit %d", len(xs), unit)
+	}
+	res.Candidates = perfmodel.FitAll(xs, ys)
+	var model perfmodel.Model
+	switch p.Config.FitMethod {
+	case FitCrossValidated:
+		k := 5
+		if len(xs) < 2*k {
+			k = 2
+		}
+		m, _, err := perfmodel.SelectByCV(xs, ys, k)
+		if err != nil {
+			return nil, fmt.Errorf("core: cross-validated fitting: %w", err)
+		}
+		model = m
+	case FitWeighted:
+		m, err := perfmodel.FitAffineWeighted(xs, ys, perfmodel.VolumeWeights(xs, 1))
+		if err != nil {
+			return nil, fmt.Errorf("core: weighted fitting: %w", err)
+		}
+		model = m
+	default:
+		m, err := perfmodel.Best(res.Candidates)
+		if err != nil {
+			return nil, fmt.Errorf("core: model fitting: %w", err)
+		}
+		model = m
+	}
+	res.Model = model
+	adj, err := perfmodel.NewAdjustment(model, xs, ys, p.Config.MissProb)
+	if err == nil {
+		res.Adjustment = adj
+	}
+
+	// Stage 5: reshape the full corpus at the preferred unit size.
+	planItems := items
+	if unit > 0 {
+		bins, err := binpack.SubsetSumFirstFit(items, unit)
+		if err != nil {
+			return nil, fmt.Errorf("core: reshaping: %w", err)
+		}
+		if err := binpack.Verify(items, bins); err != nil {
+			return nil, fmt.Errorf("core: reshaping invariant: %w", err)
+		}
+		res.ReshapedBins = bins
+		planItems = make([]binpack.Item, 0, len(bins))
+		for i, b := range bins {
+			planItems = append(planItems, binpack.Item{
+				ID:   fmt.Sprintf("unit-%06d", i),
+				Size: b.Used,
+			})
+		}
+	}
+
+	// Stage 6: provisioning plan with the adjusted-deadline strategy (§5.2).
+	planner := &provision.Planner{Model: model, Rate: p.Config.Rate, MaxInstances: p.Config.MaxInstances}
+	plan, err := planner.PlanAdjusted(planItems, p.Config.DeadlineSeconds, res.Adjustment)
+	if err != nil {
+		return nil, fmt.Errorf("core: planning: %w", err)
+	}
+	res.Plan = plan
+	return res, nil
+}
+
+// Execute runs the result's plan on the pipeline's cloud (stage 7).
+// Profiled runs execute at the corpus's size-weighted mean complexity.
+func (p *Pipeline) Execute(res *Result) (*provision.Outcome, error) {
+	if res == nil || res.Plan == nil {
+		return nil, fmt.Errorf("core: no plan to execute")
+	}
+	complexity := 1.0
+	if res.Complexity != nil {
+		// After reshaping, plan bins hold synthetic unit IDs; the original
+		// file IDs live in the reshaped bins.
+		source := res.Plan.Bins
+		if res.ReshapedBins != nil {
+			source = res.ReshapedBins
+		}
+		var flat []binpack.Item
+		for _, b := range source {
+			flat = append(flat, b.Items...)
+		}
+		complexity = res.MeanComplexity(flat)
+	}
+	return provision.Execute(p.Cloud, res.Plan, provision.ExecuteOptions{
+		App:        p.Config.App,
+		Zone:       p.Config.Zone,
+		Complexity: complexity,
+	})
+}
+
+// Reshape is the standalone reshaping operation for real data: pack the
+// corpus's files into unit files of the given size (subset-sum first fit)
+// and return a new file system holding the concatenated unit files, plus
+// the manifest of which inputs each unit contains. Content-backed inputs
+// produce content-backed unit files whose bytes are exactly the members'
+// bytes in order.
+func Reshape(in *vfs.FS, unitSize int64, unitPrefix string) (*vfs.FS, []*binpack.Bin, error) {
+	if unitSize <= 0 {
+		return nil, nil, fmt.Errorf("core: unit size must be positive, got %d", unitSize)
+	}
+	if unitPrefix == "" {
+		unitPrefix = "unit"
+	}
+	items := ItemsFromFS(in)
+	bins, err := binpack.SubsetSumFirstFit(items, unitSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := binpack.Verify(items, bins); err != nil {
+		return nil, nil, fmt.Errorf("core: reshape invariant: %w", err)
+	}
+	out := vfs.NewFS()
+	for i, b := range bins {
+		members := make([]vfs.File, 0, len(b.Items))
+		for _, it := range b.Items {
+			f, err := in.Get(it.ID)
+			if err != nil {
+				return nil, nil, err
+			}
+			members = append(members, f)
+		}
+		merged := vfs.Concat(fmt.Sprintf("%s-%06d", unitPrefix, i), members)
+		if err := out.Add(merged); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, bins, nil
+}

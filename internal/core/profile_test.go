@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/binpack"
+	"repro/internal/corpus"
+	"repro/internal/workload"
+)
+
+func profiledPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	p, err := New(Config{
+		Seed:            17,
+		App:             workload.NewPOS(),
+		DeadlineSeconds: 300,
+		InitialVolume:   200_000,
+		MaxVolume:       4_000_000,
+		S0:              10_000,
+		Multiples:       []int{10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunProfileComplexityRaisesSlope(t *testing.T) {
+	spec := corpus.Text400K(0.01)
+	flat, err := corpus.GenerateProfile(spec, 17, corpus.FlatComplexity(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := corpus.GenerateProfile(spec, 17, corpus.FlatComplexity(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFlat, err := profiledPipeline(t).RunProfile(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDense, err := profiledPipeline(t).RunProfile(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Twice the complexity → roughly twice the predicted time per byte,
+	// and therefore about twice the instances for the same deadline.
+	at := 10_000_000.0
+	ratio := resDense.Model.Predict(at) / resFlat.Model.Predict(at)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("model ratio = %v, want ≈2", ratio)
+	}
+	if resDense.Plan.Instances < resFlat.Plan.Instances {
+		t.Errorf("denser corpus plans fewer instances: %d vs %d",
+			resDense.Plan.Instances, resFlat.Plan.Instances)
+	}
+}
+
+func TestRunProfileExecuteUsesMeanComplexity(t *testing.T) {
+	spec := corpus.Text400K(0.005)
+	profile, err := corpus.GenerateProfile(spec, 18, corpus.RampComplexity{From: 0.8, To: 1.6}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profiledPipeline(t)
+	res, err := p.RunProfile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complexity == nil {
+		t.Fatal("result lost the complexity map")
+	}
+	out, err := p.Execute(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The calibration saw the real complexities, so the plan's predictions
+	// should track the execution: no instance wildly over its prediction.
+	for _, io := range out.PerInstance {
+		if io.PredictedS > 0 && io.ActualS > 2*io.PredictedS {
+			t.Errorf("instance %s actual %v >> predicted %v", io.InstanceID, io.ActualS, io.PredictedS)
+		}
+	}
+}
+
+func TestRunProfileValidation(t *testing.T) {
+	p := profiledPipeline(t)
+	if _, err := p.RunProfile(nil); err == nil {
+		t.Error("expected error for nil profile")
+	}
+	if _, err := p.RunProfile(&corpus.Profile{}); err == nil {
+		t.Error("expected error for profile without corpus")
+	}
+}
+
+func TestMeanComplexityHelper(t *testing.T) {
+	r := &Result{}
+	if r.MeanComplexity(nil) != 1 {
+		t.Error("nil complexity should mean 1")
+	}
+	r.Complexity = map[string]float64{"a": 2}
+	// Empty items exercise the zero-total branch.
+	if got := r.MeanComplexity(nil); got != 1 {
+		t.Errorf("empty items mean = %v, want 1", got)
+	}
+	items := []binpack.Item{{ID: "a", Size: 10}, {ID: "unknown", Size: 10}}
+	if got := r.MeanComplexity(items); got != 1.5 {
+		t.Errorf("mean = %v, want 1.5 (2 and default 1)", got)
+	}
+}

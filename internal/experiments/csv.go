@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// WriteCSV persists a report's table and values as two CSV files under
+// dir: <id>.csv (the table) and <id>_values.csv (the named scalars). The
+// files are the machine-readable form of the regenerated figures, suitable
+// for external plotting.
+func WriteCSV(rep *Report, dir string) error {
+	if rep == nil {
+		return fmt.Errorf("experiments: nil report")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	if len(rep.Header) > 0 {
+		path := filepath.Join(dir, rep.ID+".csv")
+		if err := writeCSVFile(path, rep.Header, rep.Rows); err != nil {
+			return err
+		}
+	}
+	if len(rep.Values) > 0 {
+		keys := make([]string, 0, len(rep.Values))
+		for k := range rep.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		rows := make([][]string, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, []string{k, fmt.Sprintf("%g", rep.Values[k])})
+		}
+		path := filepath.Join(dir, rep.ID+"_values.csv")
+		if err := writeCSVFile(path, []string{"name", "value"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCSVFile(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for _, row := range rows {
+		if err := w.Write(row); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	return f.Close()
+}

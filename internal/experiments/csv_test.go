@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	rep := newReport("unit", "csv round trip")
+	rep.Header = []string{"a", "b"}
+	rep.addRow("1", "x")
+	rep.addRow("2", "y")
+	rep.Values["metric"] = 3.5
+	rep.Values["alpha"] = 1
+
+	dir := t.TempDir()
+	if err := WriteCSV(rep, dir); err != nil {
+		t.Fatal(err)
+	}
+	table := readCSV(t, filepath.Join(dir, "unit.csv"))
+	if len(table) != 3 || table[0][0] != "a" || table[2][1] != "y" {
+		t.Errorf("table = %v", table)
+	}
+	values := readCSV(t, filepath.Join(dir, "unit_values.csv"))
+	if len(values) != 3 {
+		t.Fatalf("values = %v", values)
+	}
+	// Sorted by name: alpha before metric.
+	if values[1][0] != "alpha" || values[2][0] != "metric" || values[2][1] != "3.5" {
+		t.Errorf("values = %v", values)
+	}
+}
+
+func TestWriteCSVNoTable(t *testing.T) {
+	rep := newReport("vonly", "values only")
+	rep.Values["v"] = 1
+	dir := t.TempDir()
+	if err := WriteCSV(rep, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "vonly.csv")); !os.IsNotExist(err) {
+		t.Error("table file written despite empty table")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "vonly_values.csv")); err != nil {
+		t.Error("values file missing")
+	}
+}
+
+func TestWriteCSVNilReport(t *testing.T) {
+	if err := WriteCSV(nil, t.TempDir()); err == nil {
+		t.Error("expected error for nil report")
+	}
+}
+
+func TestWriteCSVCreatesDir(t *testing.T) {
+	rep := newReport("deep", "nested dir")
+	rep.Header = []string{"x"}
+	rep.addRow("1")
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	if err := WriteCSV(rep, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "deep.csv")); err != nil {
+		t.Error("nested output missing")
+	}
+}
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}

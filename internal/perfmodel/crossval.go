@@ -1,0 +1,120 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Cross-validated model selection. R² in each family's own fitting space
+// is not comparable across families (log-space R² vs linear-space R²), and
+// the flexible families can overfit the handful of probe volumes. K-fold
+// cross-validation on relative prediction error gives an apples-to-apples
+// criterion; SelectByCV is the more careful alternative to Best.
+
+// Family is a named fitting procedure.
+type Family struct {
+	Name string
+	Fit  func(xs, ys []float64) (Model, error)
+}
+
+// Families returns the §5 model families as cross-validatable fitters.
+func Families() []Family {
+	return []Family{
+		{"affine", func(xs, ys []float64) (Model, error) { return FitAffine(xs, ys) }},
+		{"linear", func(xs, ys []float64) (Model, error) { return FitProportional(xs, ys) }},
+		{"power-law", func(xs, ys []float64) (Model, error) { return FitPowerLaw(xs, ys) }},
+		{"log-quadratic", func(xs, ys []float64) (Model, error) { return FitLogQuad(xs, ys) }},
+		{"exponential", func(xs, ys []float64) (Model, error) { return FitExponential(xs, ys) }},
+	}
+}
+
+// CVScore is a family's cross-validation outcome.
+type CVScore struct {
+	Family Family
+	// MeanRelError is the mean absolute relative prediction error on
+	// held-out points.
+	MeanRelError float64
+	// Folds actually evaluated (folds whose training fit failed are
+	// skipped; a family that never fits gets +Inf error).
+	Folds int
+}
+
+// CrossValidate scores one family with k-fold CV. Points are assigned to
+// folds round-robin after sorting by x, so every fold spans the volume
+// range (important for extrapolating families).
+func CrossValidate(f Family, xs, ys []float64, k int) (CVScore, error) {
+	if len(xs) != len(ys) {
+		return CVScore{}, fmt.Errorf("perfmodel: len(xs)=%d != len(ys)=%d", len(xs), len(ys))
+	}
+	if k < 2 {
+		return CVScore{}, fmt.Errorf("perfmodel: need k ≥ 2 folds, got %d", k)
+	}
+	if len(xs) < k {
+		return CVScore{}, fmt.Errorf("perfmodel: %d points cannot fill %d folds", len(xs), k)
+	}
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+
+	var sumErr float64
+	var evaluated, folds int
+	for fold := 0; fold < k; fold++ {
+		var trainX, trainY, testX, testY []float64
+		for pos, idx := range order {
+			if pos%k == fold {
+				testX = append(testX, xs[idx])
+				testY = append(testY, ys[idx])
+			} else {
+				trainX = append(trainX, xs[idx])
+				trainY = append(trainY, ys[idx])
+			}
+		}
+		m, err := f.Fit(trainX, trainY)
+		if err != nil {
+			continue // this family cannot fit this fold's data
+		}
+		for i := range testX {
+			pred := m.Predict(testX[i])
+			if testY[i] == 0 {
+				continue
+			}
+			sumErr += math.Abs(pred-testY[i]) / math.Abs(testY[i])
+			evaluated++
+		}
+		folds++
+	}
+	if evaluated == 0 {
+		return CVScore{Family: f, MeanRelError: math.Inf(1)}, nil
+	}
+	return CVScore{Family: f, MeanRelError: sumErr / float64(evaluated), Folds: folds}, nil
+}
+
+// SelectByCV cross-validates every family and refits the winner on the
+// full data. It returns the fitted winner and all scores (sorted best
+// first).
+func SelectByCV(xs, ys []float64, k int) (Model, []CVScore, error) {
+	families := Families()
+	scores := make([]CVScore, 0, len(families))
+	for _, f := range families {
+		s, err := CrossValidate(f, xs, ys, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		scores = append(scores, s)
+	}
+	sort.Slice(scores, func(a, b int) bool { return scores[a].MeanRelError < scores[b].MeanRelError })
+	for _, s := range scores {
+		if math.IsInf(s.MeanRelError, 1) {
+			continue
+		}
+		m, err := s.Family.Fit(xs, ys)
+		if err != nil {
+			continue
+		}
+		return m, scores, nil
+	}
+	return nil, scores, fmt.Errorf("perfmodel: no family fit the data")
+}

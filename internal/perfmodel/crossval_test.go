@@ -1,0 +1,146 @@
+package perfmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCrossValidateErrors(t *testing.T) {
+	f := Families()[0]
+	if _, err := CrossValidate(f, []float64{1}, []float64{1, 2}, 2); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := CrossValidate(f, []float64{1, 2, 3}, []float64{1, 2, 3}, 1); err == nil {
+		t.Error("expected error for k < 2")
+	}
+	if _, err := CrossValidate(f, []float64{1, 2}, []float64{1, 2}, 5); err == nil {
+		t.Error("expected error for too few points")
+	}
+}
+
+func TestSelectByCVRecoversAffineTruth(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var xs, ys []float64
+	for v := 1e6; v <= 1e10; v *= 1.5 {
+		for rep := 0; rep < 3; rep++ {
+			xs = append(xs, v)
+			ys = append(ys, (0.3+8.65e-5*v)*(1+r.NormFloat64()*0.02))
+		}
+	}
+	m, scores, err := SelectByCV(xs, ys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(Families()) {
+		t.Errorf("scores = %d", len(scores))
+	}
+	// Held-out error of the winner must be small, and its predictions
+	// track the truth.
+	if scores[0].MeanRelError > 0.05 {
+		t.Errorf("winner CV error = %v", scores[0].MeanRelError)
+	}
+	at := 5e9
+	truth := 0.3 + 8.65e-5*at
+	if math.Abs(m.Predict(at)/truth-1) > 0.05 {
+		t.Errorf("winner prediction %v vs truth %v", m.Predict(at), truth)
+	}
+	// Scores must be sorted ascending.
+	for i := 1; i < len(scores); i++ {
+		if scores[i].MeanRelError < scores[i-1].MeanRelError {
+			t.Error("scores not sorted")
+		}
+	}
+}
+
+func TestSelectByCVRecoversPowerTruth(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var xs, ys []float64
+	truth := func(x float64) float64 { return 3e-6 * math.Pow(x, 1.25) }
+	for v := 1e5; v <= 1e9; v *= 1.7 {
+		for rep := 0; rep < 3; rep++ {
+			xs = append(xs, v)
+			ys = append(ys, truth(v)*(1+r.NormFloat64()*0.02))
+		}
+	}
+	m, scores, err := SelectByCV(xs, ys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	winner := scores[0].Family.Name
+	// Power-law truth: the winner must be one of the families that can
+	// represent it well (power-law or the more general log-quadratic).
+	if winner != "power-law" && winner != "log-quadratic" {
+		t.Errorf("winner = %s for power-law truth", winner)
+	}
+	at := 3e8
+	if math.Abs(m.Predict(at)/truth(at)-1) > 0.10 {
+		t.Errorf("winner prediction %v vs truth %v", m.Predict(at), truth(at))
+	}
+}
+
+func TestSelectByCVUnfittableData(t *testing.T) {
+	// Negative y values break every log-space family and leave affine,
+	// which still fits — so selection succeeds via affine.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{-1, -2, -3, -4, -5, -6}
+	m, _, err := SelectByCV(xs, ys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "affine" {
+		t.Errorf("winner = %s, want affine (only family handling negative y)", m.Name())
+	}
+}
+
+func TestCVScoreInfiniteForImpossibleFamily(t *testing.T) {
+	// Exponential cannot fit negative y in any fold.
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{-1, -2, -3, -4}
+	var exp Family
+	for _, f := range Families() {
+		if f.Name == "exponential" {
+			exp = f
+		}
+	}
+	s, err := CrossValidate(exp, xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(s.MeanRelError, 1) {
+		t.Errorf("impossible family error = %v, want +Inf", s.MeanRelError)
+	}
+}
+
+func TestAdjustmentNormalityCheck(t *testing.T) {
+	m := &Affine{A: 1, B: 0}
+	r := rand.New(rand.NewSource(8))
+	var xs, ys []float64
+	for i := 0; i < 100; i++ {
+		x := 10 + r.Float64()*100
+		xs = append(xs, x)
+		ys = append(ys, x*(1+r.NormFloat64()*0.05))
+	}
+	adj, err := NewAdjustment(m, xs, ys, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adj.NormalityChecked {
+		t.Fatal("normality not checked despite 100 residuals")
+	}
+	if !adj.NormalityOK {
+		t.Errorf("Gaussian residuals flagged non-normal (D=%v)", adj.KSStatistic)
+	}
+	// Heavily skewed residuals must be flagged.
+	var ys2 []float64
+	for _, x := range xs {
+		ys2 = append(ys2, x*(1+r.ExpFloat64()))
+	}
+	adj2, err := NewAdjustment(m, xs, ys2, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj2.NormalityChecked && adj2.NormalityOK {
+		t.Error("exponential residuals passed the normality check")
+	}
+}

@@ -1,0 +1,49 @@
+package probe
+
+import (
+	"repro/internal/binpack"
+	"repro/internal/workload"
+)
+
+// Complexity-aware item construction: probes built over a heterogeneous
+// corpus (corpus.Profile) carry each file's complexity, and merged unit
+// files carry the size-weighted mean of their members' — the physically
+// right aggregate for a per-byte cost model.
+
+// ItemsWithComplexity converts files to workload items carrying their
+// complexity factors (missing entries default to 1).
+func ItemsWithComplexity(files []binpack.Item, cx map[string]float64) []workload.Item {
+	items := make([]workload.Item, len(files))
+	for i, f := range files {
+		c := cx[f.ID]
+		if c <= 0 {
+			c = 1
+		}
+		items[i] = workload.Item{Size: f.Size, Complexity: c}
+	}
+	return items
+}
+
+// BinsToItemsWithComplexity converts packed bins to unit-file items whose
+// complexity is the size-weighted mean of the members'.
+func BinsToItemsWithComplexity(bins []*binpack.Bin, cx map[string]float64) []workload.Item {
+	items := make([]workload.Item, 0, len(bins))
+	for _, b := range bins {
+		if b.Used == 0 {
+			continue
+		}
+		var weighted float64
+		for _, it := range b.Items {
+			c := cx[it.ID]
+			if c <= 0 {
+				c = 1
+			}
+			weighted += c * float64(it.Size)
+		}
+		items = append(items, workload.Item{
+			Size:       b.Used,
+			Complexity: weighted / float64(b.Used),
+		})
+	}
+	return items
+}

@@ -1,0 +1,182 @@
+package probe
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/binpack"
+	"repro/internal/corpus"
+	"repro/internal/perfmodel"
+	"repro/internal/workload"
+)
+
+func TestItemsWithComplexity(t *testing.T) {
+	files := []binpack.Item{{ID: "a", Size: 10}, {ID: "b", Size: 20}}
+	cx := map[string]float64{"a": 2.0} // b missing → defaults to 1
+	items := ItemsWithComplexity(files, cx)
+	if items[0].Complexity != 2.0 || items[1].Complexity != 1.0 {
+		t.Errorf("complexities = %v, %v", items[0].Complexity, items[1].Complexity)
+	}
+}
+
+func TestBinsToItemsWithComplexityWeightedMean(t *testing.T) {
+	files := []binpack.Item{{ID: "a", Size: 30}, {ID: "b", Size: 10}}
+	bins, err := binpack.FirstFit(files, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx := map[string]float64{"a": 1.0, "b": 3.0}
+	items := BinsToItemsWithComplexity(bins, cx)
+	if len(items) != 1 {
+		t.Fatalf("items = %d", len(items))
+	}
+	// (1.0·30 + 3.0·10) / 40 = 1.5
+	if items[0].Complexity != 1.5 {
+		t.Errorf("merged complexity = %v, want 1.5", items[0].Complexity)
+	}
+	if items[0].Size != 40 {
+		t.Errorf("merged size = %d", items[0].Size)
+	}
+}
+
+func TestGenerateProfileGradient(t *testing.T) {
+	spec := corpus.Text400K(0.002)
+	p, err := corpus.GenerateProfile(spec, 5, corpus.RampComplexity{From: 0.8, To: 1.6}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := p.FS.List()
+	first := p.Complexity[files[0].Name]
+	last := p.Complexity[files[len(files)-1].Name]
+	if first != 0.8 || last != 1.6 {
+		t.Errorf("gradient endpoints = %v, %v", first, last)
+	}
+	mean := p.MeanComplexity()
+	if mean < 1.0 || mean > 1.4 {
+		t.Errorf("mean complexity = %v, want ≈1.2", mean)
+	}
+	// Flat gradient, with jitter: complexity varies around the level.
+	pj, err := corpus.GenerateProfile(spec, 5, corpus.FlatComplexity(1), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied := false
+	for _, c := range pj.Complexity {
+		if c != 1 {
+			varied = true
+		}
+		if c < 0.05 {
+			t.Fatalf("complexity %v below floor", c)
+		}
+	}
+	if !varied {
+		t.Error("jitter produced no variation")
+	}
+}
+
+func TestGenerateProfileValidation(t *testing.T) {
+	spec := corpus.Text400K(0.0001)
+	if _, err := corpus.GenerateProfile(spec, 1, nil, 0); err == nil {
+		t.Error("expected error for nil gradient")
+	}
+	if _, err := corpus.GenerateProfile(spec, 1, corpus.FlatComplexity(1), -1); err == nil {
+		t.Error("expected error for negative jitter")
+	}
+}
+
+// The §5.2 mechanism, reproduced honestly: on a corpus whose complexity
+// ramps upward, a prefix-based calibration (the escalation protocol reads
+// files in order) under-prices the corpus, while random samples capture
+// the true mean — the reason the paper's random-sample refits moved the
+// slope, and why "random sampling can be vital".
+func TestRandomSamplingCapturesComplexityVariation(t *testing.T) {
+	profile, err := corpus.GenerateProfile(corpus.Text400K(0.05), 9,
+		corpus.RampComplexity{From: 0.7, To: 1.7}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := profileItems(profile)
+	c, in := qualified(t, 9)
+	h := NewHarness(c, in, workload.NewPOS(), workload.Local{})
+
+	measure := func(sel []binpack.Item, volume int64) (float64, float64) {
+		items := ItemsWithComplexity(sel, profile.Complexity)
+		m, err := h.MeasureProbe(volume, 0, items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(workload.TotalBytes(items)), m.Mean
+	}
+
+	// Prefix calibration at two volumes (the escalation protocol's shape).
+	var pxs, pys []float64
+	for _, volume := range []int64{2_000_000, 8_000_000} {
+		sel, err := SelectPrefix(files, volume)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, y := measure(sel, volume)
+		pxs = append(pxs, x)
+		pys = append(pys, y)
+	}
+	prefixFit, err := perfmodel.FitAffine(pxs, pys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Random-sample calibration at the same volumes.
+	r := rand.New(rand.NewSource(10))
+	var rxs, rys []float64
+	for _, volume := range []int64{2_000_000, 8_000_000} {
+		for s := 0; s < 3; s++ {
+			sel, err := SampleWithoutReplacement(files, volume, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, y := measure(sel, volume)
+			rxs = append(rxs, x)
+			rys = append(rys, y)
+		}
+	}
+	randomFit, err := perfmodel.FitAffine(rxs, rys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The prefix sees complexity ≈0.7-0.8; random samples see ≈1.2. The
+	// random-sample slope must be markedly higher, like the paper's
+	// Eq. (2) vs Eq. (1) direction.
+	ratio := randomFit.A / prefixFit.A
+	if ratio < 1.2 {
+		t.Errorf("random-sample slope only %vx the prefix slope; the complexity ramp should show", ratio)
+	}
+	// And the random model predicts the full corpus far better.
+	allItems := ItemsWithComplexity(files, profile.Complexity)
+	var trueSeconds float64
+	for _, it := range allItems {
+		trueSeconds += workload.NewPOS().Process(it, 80, in).Seconds()
+	}
+	total := float64(workload.TotalBytes(allItems))
+	prefErr := relErr(prefixFit.Predict(total), trueSeconds)
+	randErr := relErr(randomFit.Predict(total), trueSeconds)
+	if randErr >= prefErr {
+		t.Errorf("random-sample model no better: err %v vs prefix %v", randErr, prefErr)
+	}
+}
+
+func relErr(pred, truth float64) float64 {
+	d := pred - truth
+	if d < 0 {
+		d = -d
+	}
+	return d / truth
+}
+
+func profileItems(p *corpus.Profile) []binpack.Item {
+	files := p.FS.List()
+	items := make([]binpack.Item, len(files))
+	for i, f := range files {
+		items[i] = binpack.Item{ID: f.Name, Size: f.Size}
+	}
+	return items
+}

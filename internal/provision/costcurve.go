@@ -1,0 +1,71 @@
+package provision
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CostPoint is one point of a cost-vs-deadline trade-off curve.
+type CostPoint struct {
+	DeadlineSeconds float64
+	Instances       int
+	InstanceHours   float64
+	CostUSD         float64
+	// Feasible is false when the deadline is below the model's minimum
+	// (e.g. under the intercept, or under the largest unsplittable item).
+	Feasible bool
+}
+
+// CostCurve sweeps deadlines and reports the cheapest uniform-bins plan at
+// each — the user-facing trade-off the paper's provisioning enables: "a
+// scheduling strategy that is both timely and cost effective". Deadlines
+// are evaluated in ascending order; infeasible ones are marked rather than
+// failing the sweep.
+func (pl *Planner) CostCurve(totalVolume int64, deadlines []float64) ([]CostPoint, error) {
+	if pl.Model == nil {
+		return nil, fmt.Errorf("provision: planner has no model")
+	}
+	if totalVolume <= 0 {
+		return nil, fmt.Errorf("provision: volume must be positive, got %d", totalVolume)
+	}
+	if len(deadlines) == 0 {
+		return nil, fmt.Errorf("provision: no deadlines to sweep")
+	}
+	ds := append([]float64(nil), deadlines...)
+	sort.Float64s(ds)
+	out := make([]CostPoint, 0, len(ds))
+	for _, d := range ds {
+		pt := CostPoint{DeadlineSeconds: d}
+		if d > 0 {
+			if x0, err := pl.Model.Invert(d); err == nil && x0 >= 1 {
+				n := int(math.Ceil(float64(totalVolume) / math.Floor(x0)))
+				pt.Instances = n
+				pt.InstanceHours = float64(n) * math.Ceil(d/3600)
+				pt.CostUSD = pt.InstanceHours * pl.Rate
+				pt.Feasible = true
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// CheapestFeasible returns the lowest-cost feasible point of a curve,
+// breaking cost ties toward the shorter deadline.
+func CheapestFeasible(curve []CostPoint) (CostPoint, error) {
+	best := -1
+	for i, pt := range curve {
+		if !pt.Feasible {
+			continue
+		}
+		if best == -1 || pt.CostUSD < curve[best].CostUSD ||
+			(pt.CostUSD == curve[best].CostUSD && pt.DeadlineSeconds < curve[best].DeadlineSeconds) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return CostPoint{}, fmt.Errorf("provision: no feasible point in the curve")
+	}
+	return curve[best], nil
+}

@@ -1,0 +1,86 @@
+package provision
+
+import (
+	"testing"
+)
+
+func TestCostCurveShapes(t *testing.T) {
+	pl := NewPlanner(eq3())
+	curve, err := pl.CostCurve(1_000_000_000, []float64{600, 1800, 3600, 7200, 14400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 5 {
+		t.Fatalf("points = %d", len(curve))
+	}
+	// Longer deadlines never need more instances.
+	for i := 1; i < len(curve); i++ {
+		if !curve[i].Feasible || !curve[i-1].Feasible {
+			continue
+		}
+		if curve[i].Instances > curve[i-1].Instances {
+			t.Errorf("instances grew with deadline: %d → %d", curve[i-1].Instances, curve[i].Instances)
+		}
+	}
+	// Sub-hour deadlines carry the partial-hour premium: 600 s costs more
+	// per unit work than 3600 s.
+	var p600, p3600 CostPoint
+	for _, pt := range curve {
+		switch pt.DeadlineSeconds {
+		case 600:
+			p600 = pt
+		case 3600:
+			p3600 = pt
+		}
+	}
+	if p600.Feasible && p3600.Feasible && p600.CostUSD <= p3600.CostUSD {
+		t.Errorf("sub-hour premium missing: $%.3f at 10min vs $%.3f at 1h", p600.CostUSD, p3600.CostUSD)
+	}
+}
+
+func TestCostCurveInfeasibleMarked(t *testing.T) {
+	pl := NewPlanner(eq3()) // intercept 0.327 s
+	curve, err := pl.CostCurve(1_000_000, []float64{0.1, 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[0].Feasible {
+		t.Error("sub-intercept deadline marked feasible")
+	}
+	if !curve[1].Feasible {
+		t.Error("one-hour deadline marked infeasible")
+	}
+}
+
+func TestCostCurveValidation(t *testing.T) {
+	pl := NewPlanner(eq3())
+	if _, err := pl.CostCurve(0, []float64{3600}); err == nil {
+		t.Error("expected error for zero volume")
+	}
+	if _, err := pl.CostCurve(100, nil); err == nil {
+		t.Error("expected error for empty sweep")
+	}
+	if _, err := (&Planner{Rate: 1}).CostCurve(100, []float64{1}); err == nil {
+		t.Error("expected error for nil model")
+	}
+}
+
+func TestCheapestFeasible(t *testing.T) {
+	curve := []CostPoint{
+		{DeadlineSeconds: 600, CostUSD: 3, Feasible: true},
+		{DeadlineSeconds: 3600, CostUSD: 2, Feasible: true},
+		{DeadlineSeconds: 7200, CostUSD: 2, Feasible: true},
+		{DeadlineSeconds: 100, Feasible: false},
+	}
+	best, err := CheapestFeasible(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tie between 3600 and 7200 at $2: the shorter wins.
+	if best.DeadlineSeconds != 3600 {
+		t.Errorf("best deadline = %v, want 3600", best.DeadlineSeconds)
+	}
+	if _, err := CheapestFeasible([]CostPoint{{Feasible: false}}); err == nil {
+		t.Error("expected error for all-infeasible curve")
+	}
+}

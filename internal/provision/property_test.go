@@ -1,0 +1,108 @@
+package provision
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/binpack"
+)
+
+// Property: for random workloads and deadlines, every plan satisfies the
+// §5 invariants — data conserved, no regular bin beyond the capacity
+// f⁻¹(D), instance count at least the ⌈V/⌊x₀⌋⌉ minimum, and every
+// prediction within the deadline (oversized bins excepted).
+func TestPlanInvariantsProperty(t *testing.T) {
+	pl := NewPlanner(eq3())
+	f := func(rawSizes []uint32, deadlineRaw uint16, uniform bool) bool {
+		if len(rawSizes) == 0 {
+			return true
+		}
+		items := make([]binpack.Item, len(rawSizes))
+		var volume int64
+		for i, s := range rawSizes {
+			size := int64(s%5_000_000) + 1
+			items[i] = binpack.Item{ID: fmt.Sprintf("q%d", i), Size: size}
+			volume += size
+		}
+		deadline := float64(deadlineRaw%7200) + 60 // 60s .. 2h+
+		strategy := FirstFitOriginal
+		if uniform {
+			strategy = UniformBins
+		}
+		plan, err := pl.PlanDeadline(items, deadline, strategy)
+		if err != nil {
+			// Deadlines below the intercept (or capacity < largest item in
+			// degenerate combinations) may legitimately fail.
+			return true
+		}
+		if binpack.Verify(items, plan.Bins) != nil {
+			return false
+		}
+		if plan.TotalVolume() != volume {
+			return false
+		}
+		oversized := false
+		for _, b := range plan.Bins {
+			if b.Oversized {
+				oversized = true
+			}
+		}
+		// Oversized bins hold more than x₀ each, so they can undercut the
+		// ⌈V/x₀⌉ bound; the minimum only binds without them.
+		if !oversized && plan.Instances < plan.MinInstances {
+			return false
+		}
+		var maxItem int64
+		for _, it := range items {
+			if it.Size > maxItem {
+				maxItem = it.Size
+			}
+		}
+		for i, b := range plan.Bins {
+			if b.Oversized {
+				continue
+			}
+			switch plan.Strategy {
+			case FirstFitOriginal:
+				// Hard capacity: predictions fit the deadline exactly.
+				if plan.Predicted[i] > deadline+1e-6 {
+					return false
+				}
+			case UniformBins:
+				// Least-loaded balancing: a bin holds at most the mean plus
+				// one item (the classical greedy bound).
+				mean := volume / int64(plan.Instances)
+				if b.Used > mean+maxItem {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the cost function is monotone — tighter sub-hour deadlines
+// never cost less, and above one hour cost is deadline-independent.
+func TestCostMonotonicityProperty(t *testing.T) {
+	f := func(pRaw, d1Raw, d2Raw uint16) bool {
+		p := float64(pRaw%1000)/10 + 0.1 // 0.1 .. 100 predicted hours
+		d1 := float64(d1Raw%200)/100 + 0.005
+		d2 := float64(d2Raw%200)/100 + 0.005
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		c1, err1 := Cost(p, d1, 0.085)
+		c2, err2 := Cost(p, d2, 0.085)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return c1 >= c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

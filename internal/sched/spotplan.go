@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cloudsim"
+)
+
+// SpotOutcome describes executing a resumable batch job under a spot
+// request: total wall-clock span (including interruptions), billed hours
+// and cost, contrasted with the on-demand alternative.
+type SpotOutcome struct {
+	// WorkHours is the compute the job needs.
+	WorkHours float64
+	// FinishAt is the virtual time the job completes.
+	FinishAt time.Duration
+	// SpanHours is wall-clock from request to completion.
+	SpanHours float64
+	// ActiveHours is how many market hours actually ran.
+	ActiveHours int
+	// CostUSD is the spot bill (active hours at market price).
+	CostUSD float64
+	// OnDemandUSD is what the same compute costs on demand.
+	OnDemandUSD float64
+	// Interruptions counts gaps in the active schedule.
+	Interruptions int
+}
+
+// PlanSpot simulates running workHours of resumable computation (the
+// clean-resume requirement of §1.1) under a spot request with the given
+// bid, starting at the market's current virtual time. It scans the
+// deterministic price series hour by hour and accrues work only in active
+// hours.
+func PlanSpot(c *cloudsim.Cloud, bid, workHours float64) (*SpotOutcome, error) {
+	if workHours <= 0 {
+		return nil, fmt.Errorf("sched: work hours must be positive, got %v", workHours)
+	}
+	m := c.Spot()
+	req, err := m.RequestSpot(bid)
+	if err != nil {
+		return nil, err
+	}
+	start := c.Clock().Now()
+	out := &SpotOutcome{WorkHours: workHours}
+	remaining := workHours
+	t := start
+	inGap := false
+	const maxScan = 60 * 24 // hours; bounds unbounded low bids
+	for scanned := 0; remaining > 0; scanned++ {
+		if scanned > maxScan {
+			req.Cancel()
+			return nil, fmt.Errorf("sched: bid %v too low — job not finished after %d market hours", bid, maxScan)
+		}
+		hourStart := t.Truncate(time.Hour)
+		price := m.Price(hourStart)
+		hourEnd := hourStart + time.Hour
+		if price <= bid {
+			if inGap {
+				out.Interruptions++
+				inGap = false
+			}
+			avail := (hourEnd - t).Hours()
+			use := avail
+			if remaining < use {
+				use = remaining
+			}
+			remaining -= use
+			out.ActiveHours++
+			out.CostUSD += price // spot bills the hour at market price
+			t += time.Duration(use * float64(time.Hour))
+			if remaining <= 0 {
+				break
+			}
+			t = hourEnd
+		} else {
+			inGap = out.ActiveHours > 0 // a gap only counts once started
+			t = hourEnd
+		}
+	}
+	req.Cancel()
+	out.FinishAt = t
+	out.SpanHours = (t - start).Hours()
+	ondemandHours := float64(int(workHours))
+	if workHours > ondemandHours {
+		ondemandHours++
+	}
+	out.OnDemandUSD = ondemandHours * cloudsim.Small.HourlyRate
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/perfmodel"
+)
+
+// Workflow scheduling with full-hour subdeadlines — the paper's §7
+// direction ("We can schedule such workflows while making sure we assign
+// full hour subdeadlines to groups of tasks", after Yu, Buyya & Tham).
+//
+// A Workflow is a chain of stages (e.g. extract → tokenize → tag), each a
+// data volume processed under its own performance model. Because EC2 bills
+// whole hours, the planner assigns each stage a subdeadline that is a
+// multiple of one hour, so instances retire at hour boundaries and no paid
+// fraction is wasted.
+
+// Stage is one step of a processing chain.
+type Stage struct {
+	Name string
+	// Model predicts the stage's single-instance execution time for a
+	// volume in bytes.
+	Model perfmodel.Model
+	// VolumeBytes is the stage's total input volume.
+	VolumeBytes int64
+}
+
+// StagePlan is the per-stage outcome.
+type StagePlan struct {
+	Stage Stage
+	// SubdeadlineHours is the whole-hour budget assigned to the stage.
+	SubdeadlineHours int
+	// Instances provisioned for the stage.
+	Instances int
+	// PredictedS is the predicted per-instance time at the assigned load.
+	PredictedS float64
+	// InstanceHours billed by the stage.
+	InstanceHours float64
+}
+
+// WorkflowPlan is the whole chain's schedule.
+type WorkflowPlan struct {
+	Stages []StagePlan
+	// TotalHours is the end-to-end wall-clock in hours (stages are
+	// sequential: each consumes the previous one's output).
+	TotalHours int
+	// InstanceHours and CostUSD aggregate billing.
+	InstanceHours float64
+	CostUSD       float64
+}
+
+// PlanWorkflow assigns whole-hour subdeadlines to a sequential workflow
+// under a total deadline of deadlineHours, minimising instance-hours:
+// each stage first gets one hour; remaining hours go to the stage whose
+// instance count shrinks the most per added hour (greedy on marginal
+// saving). Stage instance counts follow the paper's ⌈V/f⁻¹(D)⌉ rule.
+func PlanWorkflow(stages []Stage, deadlineHours int, hourlyRate float64) (*WorkflowPlan, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("sched: empty workflow")
+	}
+	if deadlineHours < len(stages) {
+		return nil, fmt.Errorf("sched: %d stages cannot fit whole-hour subdeadlines in %d hours", len(stages), deadlineHours)
+	}
+	if hourlyRate <= 0 {
+		return nil, fmt.Errorf("sched: non-positive rate %v", hourlyRate)
+	}
+	for _, s := range stages {
+		if s.Model == nil || s.VolumeBytes <= 0 {
+			return nil, fmt.Errorf("sched: stage %q lacks model or volume", s.Name)
+		}
+	}
+	hours := make([]int, len(stages))
+	for i := range hours {
+		hours[i] = 1
+	}
+	spare := deadlineHours - len(stages)
+	instancesFor := func(i int, h int) (int, error) {
+		x, err := stages[i].Model.Invert(float64(h) * 3600)
+		if err != nil {
+			return 0, err
+		}
+		if x < 1 {
+			return 0, fmt.Errorf("sched: stage %q cannot process data in %d h", stages[i].Name, h)
+		}
+		return int(math.Ceil(float64(stages[i].VolumeBytes) / math.Floor(x))), nil
+	}
+	// Greedy: spend spare hours where they save the most instance-hours.
+	for ; spare > 0; spare-- {
+		bestStage := -1
+		bestSaving := 0.0
+		for i := range stages {
+			cur, err := instancesFor(i, hours[i])
+			if err != nil {
+				return nil, err
+			}
+			next, err := instancesFor(i, hours[i]+1)
+			if err != nil {
+				return nil, err
+			}
+			saving := float64(cur*hours[i] - next*(hours[i]+1))
+			if saving > bestSaving {
+				bestSaving = saving
+				bestStage = i
+			}
+		}
+		if bestStage == -1 {
+			break // no stage benefits from more time
+		}
+		hours[bestStage]++
+	}
+
+	plan := &WorkflowPlan{}
+	for i, s := range stages {
+		n, err := instancesFor(i, hours[i])
+		if err != nil {
+			return nil, err
+		}
+		perInstance := float64(s.VolumeBytes) / float64(n)
+		sp := StagePlan{
+			Stage:            s,
+			SubdeadlineHours: hours[i],
+			Instances:        n,
+			PredictedS:       s.Model.Predict(perInstance),
+			InstanceHours:    float64(n * hours[i]),
+		}
+		plan.Stages = append(plan.Stages, sp)
+		plan.TotalHours += hours[i]
+		plan.InstanceHours += sp.InstanceHours
+	}
+	plan.CostUSD = plan.InstanceHours * hourlyRate
+	return plan, nil
+}

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+// wfModel builds an affine model with the given slope (s/byte) and
+// intercept (s of per-instance setup — what makes longer subdeadlines
+// cheaper: fewer instances amortise the setup). With a zero intercept the
+// linear model is hour-indifferent, the paper's Fig. 2 "linear" case.
+func wfModel(t *testing.T, slope, intercept float64) perfmodel.Model {
+	t.Helper()
+	m, err := perfmodel.FitAffine([]float64{0, 1e9}, []float64{intercept, intercept + slope*1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// textChain is a 3-stage extract → tokenize → tag workflow over 1 GB:
+// extraction is fast (I/O-ish), tokenisation medium, tagging slow with a
+// heavy model-load setup.
+func textChain(t *testing.T) []Stage {
+	t.Helper()
+	return []Stage{
+		{Name: "extract", Model: wfModel(t, 2e-8, 60), VolumeBytes: 1_000_000_000},
+		{Name: "tokenize", Model: wfModel(t, 5e-7, 120), VolumeBytes: 1_000_000_000},
+		{Name: "tag", Model: wfModel(t, 8.65e-5, 600), VolumeBytes: 1_000_000_000},
+	}
+}
+
+func TestPlanWorkflowWholeHourSubdeadlines(t *testing.T) {
+	plan, err := PlanWorkflow(textChain(t), 6, 0.085)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stages) != 3 {
+		t.Fatalf("stages = %d", len(plan.Stages))
+	}
+	total := 0
+	for _, sp := range plan.Stages {
+		if sp.SubdeadlineHours < 1 {
+			t.Errorf("stage %s got %d hours", sp.Stage.Name, sp.SubdeadlineHours)
+		}
+		total += sp.SubdeadlineHours
+		// The predicted per-instance time must fit the subdeadline.
+		if sp.PredictedS > float64(sp.SubdeadlineHours)*3600 {
+			t.Errorf("stage %s predicted %v > subdeadline %d h", sp.Stage.Name, sp.PredictedS, sp.SubdeadlineHours)
+		}
+	}
+	if total != plan.TotalHours || total > 6 {
+		t.Errorf("subdeadlines sum to %d, plan says %d (budget 6)", total, plan.TotalHours)
+	}
+	if plan.CostUSD <= 0 || plan.InstanceHours <= 0 {
+		t.Errorf("plan billing empty: %+v", plan)
+	}
+}
+
+func TestPlanWorkflowSpareHoursGoToExpensiveStage(t *testing.T) {
+	plan, err := PlanWorkflow(textChain(t), 8, 0.085)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tagHours, extractHours int
+	for _, sp := range plan.Stages {
+		switch sp.Stage.Name {
+		case "tag":
+			tagHours = sp.SubdeadlineHours
+		case "extract":
+			extractHours = sp.SubdeadlineHours
+		}
+	}
+	// The tagging stage dominates cost; spare hours must land there.
+	if tagHours <= extractHours {
+		t.Errorf("tag got %d hours, extract %d; spare time misallocated", tagHours, extractHours)
+	}
+}
+
+func TestPlanWorkflowMoreTimeNeverCostsMore(t *testing.T) {
+	tight, err := PlanWorkflow(textChain(t), 4, 0.085)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := PlanWorkflow(textChain(t), 12, 0.085)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.InstanceHours > tight.InstanceHours {
+		t.Errorf("looser deadline costs more: %v > %v instance-hours", loose.InstanceHours, tight.InstanceHours)
+	}
+	if loose.TotalHours > 12 || tight.TotalHours > 4 {
+		t.Error("deadline budgets exceeded")
+	}
+}
+
+func TestPlanWorkflowValidation(t *testing.T) {
+	if _, err := PlanWorkflow(nil, 4, 0.085); err == nil {
+		t.Error("expected error for empty workflow")
+	}
+	if _, err := PlanWorkflow(textChain(t), 2, 0.085); err == nil {
+		t.Error("expected error when stages outnumber hours")
+	}
+	if _, err := PlanWorkflow(textChain(t), 6, 0); err == nil {
+		t.Error("expected error for zero rate")
+	}
+	broken := []Stage{{Name: "x", Model: nil, VolumeBytes: 1}}
+	if _, err := PlanWorkflow(broken, 2, 0.085); err == nil {
+		t.Error("expected error for nil model")
+	}
+}
+
+func TestPlanWorkflowSingleStage(t *testing.T) {
+	stages := []Stage{{Name: "only", Model: wfModel(t, 8.65e-5, 600), VolumeBytes: 500_000_000}}
+	plan, err := PlanWorkflow(stages, 3, 0.085)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalHours > 3 {
+		t.Errorf("total hours = %d", plan.TotalHours)
+	}
+	// 500 MB at 86.5 µs/byte = 43,250 s ≈ 12 instance-hours minimum.
+	if plan.InstanceHours < 12 {
+		t.Errorf("instance-hours = %v, want ≥ 12", plan.InstanceHours)
+	}
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kolmogorov-Smirnov normality check. The paper's deadline adjustment
+// (§5.2) rests on the assumption that "the relative residuals ... are
+// normally distributed"; this test lets callers verify rather than assume.
+
+// KSResult is the outcome of a one-sample KS test against a normal
+// distribution with the sample's own mean and standard deviation
+// (Lilliefors-style; the critical values account for the estimated
+// parameters approximately).
+type KSResult struct {
+	// D is the KS statistic: the maximal distance between the empirical
+	// CDF and the fitted normal CDF.
+	D float64
+	// Critical is the rejection threshold at the requested level.
+	Critical float64
+	// N is the sample size.
+	N int
+	// Normal is true when D ≤ Critical: normality is not rejected.
+	Normal bool
+}
+
+func (r KSResult) String() string {
+	verdict := "normality not rejected"
+	if !r.Normal {
+		verdict = "normality REJECTED"
+	}
+	return fmt.Sprintf("KS D=%.4f (crit %.4f, n=%d): %s", r.D, r.Critical, r.N, verdict)
+}
+
+// lilliefors05 approximates the Lilliefors critical value near the 5%
+// level for sample size n. The constant is deliberately on the
+// conservative (slightly larger) side of the published 0.886/√n
+// asymptotic: this check is a sanity flag on the §5.2 assumption, and a
+// false rejection would needlessly alarm.
+func lilliefors05(n int) float64 {
+	fn := float64(n)
+	return 0.95 / (math.Sqrt(fn) - 0.01 + 0.85/math.Sqrt(fn))
+}
+
+// KSNormal tests whether xs is plausibly normal at the 5% level. It
+// requires at least 5 observations and non-zero spread.
+func KSNormal(xs []float64) (KSResult, error) {
+	if len(xs) < 5 {
+		return KSResult{}, fmt.Errorf("stats: KS test needs ≥ 5 samples, got %d", len(xs))
+	}
+	s := Summarize(xs)
+	if s.StdDev == 0 {
+		return KSResult{}, fmt.Errorf("stats: KS test needs non-degenerate sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var d float64
+	for i, x := range sorted {
+		z := (x - s.Mean) / s.StdDev
+		f := NormalCDF(z)
+		// Both one-sided gaps around the step of the empirical CDF.
+		upper := float64(i+1)/n - f
+		lower := f - float64(i)/n
+		if upper > d {
+			d = upper
+		}
+		if lower > d {
+			d = lower
+		}
+	}
+	crit := lilliefors05(len(sorted))
+	return KSResult{D: d, Critical: crit, N: len(sorted), Normal: d <= crit}, nil
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestKSNormalAcceptsGaussian(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	rejected := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 200)
+		for i := range xs {
+			xs[i] = 3 + 0.5*r.NormFloat64()
+		}
+		res, err := KSNormal(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Normal {
+			rejected++
+		}
+	}
+	// 5% level: expect ≈2 rejections in 40 trials; allow up to 6.
+	if rejected > 6 {
+		t.Errorf("rejected %d/%d Gaussian samples at the 5%% level", rejected, trials)
+	}
+}
+
+func TestKSNormalRejectsHeavySkew(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	xs := make([]float64, 300)
+	for i := range xs {
+		// Exponential: decisively non-normal.
+		xs[i] = r.ExpFloat64()
+	}
+	res, err := KSNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Normal {
+		t.Errorf("exponential sample accepted as normal: %v", res)
+	}
+	if !strings.Contains(res.String(), "REJECTED") {
+		t.Errorf("string verdict wrong: %s", res)
+	}
+}
+
+func TestKSNormalRejectsBimodal(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs := make([]float64, 300)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = -5 + 0.3*r.NormFloat64()
+		} else {
+			xs[i] = 5 + 0.3*r.NormFloat64()
+		}
+	}
+	res, err := KSNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Normal {
+		t.Error("bimodal sample accepted as normal")
+	}
+}
+
+func TestKSNormalErrors(t *testing.T) {
+	if _, err := KSNormal([]float64{1, 2, 3}); err == nil {
+		t.Error("expected error for tiny sample")
+	}
+	if _, err := KSNormal([]float64{2, 2, 2, 2, 2}); err == nil {
+		t.Error("expected error for degenerate sample")
+	}
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// NormalCDF returns P(Z ≤ z) for a standard normal variable.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormalQuantile returns the z with P(Z ≤ z) = p for a standard normal
+// variable, using Acklam's rational approximation refined by one Halley
+// step (absolute error well below 1e-9 across (0,1)).
+func NormalQuantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("stats: normal quantile requires p in (0,1), got %v", p)
+	}
+	// Coefficients for Acklam's approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step against the exact CDF.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x, nil
+}
+
+// DeadlineInflation computes the paper's deadline-adjustment factor
+// a = z·σ + μ where z is the (1-missProb) standard-normal quantile and μ, σ
+// are the sample mean and standard deviation of the model's relative
+// residuals (§5.2). Scheduling for D/(1+a) instead of D bounds the miss
+// probability by missProb under the normality assumption.
+func DeadlineInflation(relResiduals []float64, missProb float64) (float64, error) {
+	if len(relResiduals) < 2 {
+		return 0, ErrInsufficientData
+	}
+	if missProb <= 0 || missProb >= 1 {
+		return 0, fmt.Errorf("stats: miss probability must be in (0,1), got %v", missProb)
+	}
+	z, err := NormalQuantile(1 - missProb)
+	if err != nil {
+		return 0, err
+	}
+	s := Summarize(relResiduals)
+	return z*s.StdDev + s.Mean, nil
+}

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// SeedFor derives a deterministic sub-seed from a root seed and a component
+// name, so independent subsystems (corpus sampling, instance quality, EBS
+// placement, measurement noise) get decorrelated but reproducible streams.
+func SeedFor(root int64, name string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(root >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+// NewRand returns a rand.Rand seeded from (root, name) via SeedFor.
+func NewRand(root int64, name string) *rand.Rand {
+	return rand.New(rand.NewSource(SeedFor(root, name)))
+}
+
+// LogNormal draws from a log-normal distribution with the given parameters
+// of the underlying normal (mu, sigma in log space).
+func LogNormal(r *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Bounded draws from sample() until the result falls in [lo, hi], clamping
+// after maxTries attempts. It lets size samplers honour hard caps (e.g. the
+// 705 kB maximum of the Text_400K set) without distorting the body of the
+// distribution.
+func Bounded(sample func() float64, lo, hi float64, maxTries int) float64 {
+	for i := 0; i < maxTries; i++ {
+		v := sample()
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	v := sample()
+	return math.Min(math.Max(v, lo), hi)
+}

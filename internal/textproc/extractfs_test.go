@@ -1,0 +1,85 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/vfs"
+)
+
+func TestExtractFSDerivesTextCorpus(t *testing.T) {
+	htmlFS, err := corpus.GenerateWithContent(corpus.HTML18Mil(0.0000015), 5) // ~27 files
+	if err != nil {
+		t.Fatal(err)
+	}
+	textFS, err := ExtractFS(htmlFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if textFS.Len() != htmlFS.Len() {
+		t.Fatalf("file count changed: %d -> %d", htmlFS.Len(), textFS.Len())
+	}
+	// Extracted text is smaller than the HTML (markup removed) and
+	// tag-free.
+	if textFS.TotalSize() >= htmlFS.TotalSize() {
+		t.Errorf("extraction did not shrink: %d vs %d", textFS.TotalSize(), htmlFS.TotalSize())
+	}
+	for _, f := range textFS.List() {
+		if !strings.HasSuffix(f.Name, ".txt") {
+			t.Errorf("name %q not rewritten to .txt", f.Name)
+		}
+		data, err := f.ReadAll() // validates declared size too
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.ContainsAny(string(data), "<>") {
+			t.Errorf("%s contains markup", f.Name)
+		}
+	}
+}
+
+func TestExtractFSLazyAndRepeatable(t *testing.T) {
+	htmlFS, err := corpus.GenerateWithContent(corpus.HTML18Mil(0.0000003), 9) // ~5 files
+	if err != nil {
+		t.Fatal(err)
+	}
+	textFS, err := ExtractFS(htmlFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := textFS.List()[0]
+	a, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("re-extraction not deterministic")
+	}
+}
+
+func TestExtractFSMetadataOnlyFails(t *testing.T) {
+	fs := vfs.NewFS()
+	_ = fs.Add(vfs.NewFile("m.html", 10))
+	if _, err := ExtractFS(fs); err == nil {
+		t.Error("expected error for metadata-only corpus")
+	}
+}
+
+func TestRewriteExt(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a/b/c.html", "a/b/c.txt"},
+		{"plain", "plain.txt"},
+		{"dir.v2/file", "dir.v2/file.txt"},
+		{"x.tar.gz", "x.tar.txt"},
+	}
+	for _, c := range cases {
+		if got := rewriteExt(c.in, ".txt"); got != c.want {
+			t.Errorf("rewriteExt(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package textproc
+
+import (
+	"bytes"
+	"strings"
+)
+
+// ExtractText strips HTML markup and returns the visible text, the
+// operation that produced the paper's second data set ("400,000 English
+// language text files, extracted from a subset of HTML English language
+// articles"). The extractor handles tags, comments, script/style blocks
+// and the common named entities; it is deliberately tolerant of the
+// malformed markup real crawled news pages contain.
+func ExtractText(html []byte) []byte {
+	var out bytes.Buffer
+	out.Grow(len(html) / 2)
+	i := 0
+	n := len(html)
+	lastSpace := true
+	writeByte := func(c byte) {
+		if c == ' ' || c == '\n' || c == '\t' || c == '\r' {
+			if !lastSpace {
+				out.WriteByte(' ')
+				lastSpace = true
+			}
+			return
+		}
+		out.WriteByte(c)
+		lastSpace = false
+	}
+	for i < n {
+		c := html[i]
+		switch {
+		case c == '<':
+			if rest := html[i:]; hasPrefixFold(rest, "<!--") {
+				// Comment: skip to -->.
+				end := bytes.Index(rest, []byte("-->"))
+				if end < 0 {
+					i = n
+					continue
+				}
+				i += end + 3
+				continue
+			}
+			if tag, ok := openTagName(html[i:]); ok && (tag == "script" || tag == "style") {
+				// Skip the whole element, content included.
+				close := "</" + tag
+				idx := indexFold(html[i:], close)
+				if idx < 0 {
+					i = n
+					continue
+				}
+				i += idx
+				// Fall through: the closing tag itself is consumed as a
+				// normal tag on the next iteration.
+				continue
+			}
+			// Regular tag: skip to '>'.
+			end := bytes.IndexByte(html[i:], '>')
+			if end < 0 {
+				i = n
+				continue
+			}
+			// Block-level tags break words.
+			writeByte(' ')
+			i += end + 1
+		case c == '&':
+			entity, consumed := decodeEntity(html[i:])
+			if consumed > 0 {
+				for _, e := range []byte(entity) {
+					writeByte(e)
+				}
+				i += consumed
+				continue
+			}
+			writeByte(c)
+			i++
+		default:
+			writeByte(c)
+			i++
+		}
+	}
+	return bytes.TrimSpace(out.Bytes())
+}
+
+// openTagName parses "<name ..." returning the lowercase tag name.
+func openTagName(b []byte) (string, bool) {
+	if len(b) < 2 || b[0] != '<' {
+		return "", false
+	}
+	j := 1
+	var name []byte
+	for j < len(b) {
+		c := b[j]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c >= 'a' && c <= 'z' {
+			name = append(name, c)
+			j++
+			continue
+		}
+		break
+	}
+	if len(name) == 0 {
+		return "", false
+	}
+	return string(name), true
+}
+
+func hasPrefixFold(b []byte, prefix string) bool {
+	if len(b) < len(prefix) {
+		return false
+	}
+	return strings.EqualFold(string(b[:len(prefix)]), prefix)
+}
+
+// indexFold finds the case-insensitive index of pat in b (pat is ASCII).
+func indexFold(b []byte, pat string) int {
+	lower := bytes.ToLower(b)
+	return bytes.Index(lower, []byte(strings.ToLower(pat)))
+}
+
+// entities covers the named entities that matter for news text.
+var entities = map[string]string{
+	"amp":    "&",
+	"lt":     "<",
+	"gt":     ">",
+	"quot":   `"`,
+	"apos":   "'",
+	"nbsp":   " ",
+	"mdash":  "—",
+	"ndash":  "–",
+	"hellip": "…",
+	"rsquo":  "'",
+	"lsquo":  "'",
+	"rdquo":  `"`,
+	"ldquo":  `"`,
+}
+
+// decodeEntity decodes &name; or &#NNN; at the start of b, returning the
+// replacement text and bytes consumed (0 when not an entity).
+func decodeEntity(b []byte) (string, int) {
+	if len(b) < 3 || b[0] != '&' {
+		return "", 0
+	}
+	end := bytes.IndexByte(b[:min(len(b), 12)], ';')
+	if end < 2 {
+		return "", 0
+	}
+	body := string(b[1:end])
+	if body[0] == '#' {
+		num := body[1:]
+		code := 0
+		for _, d := range num {
+			if d < '0' || d > '9' {
+				return "", 0
+			}
+			code = code*10 + int(d-'0')
+			if code > 0x10FFFF {
+				return "", 0
+			}
+		}
+		if code == 0 {
+			return "", 0
+		}
+		return string(rune(code)), end + 1
+	}
+	if rep, ok := entities[body]; ok {
+		return rep, end + 1
+	}
+	return "", 0
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package textproc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/lexicon"
+	"repro/internal/vfs"
+)
+
+// Parallel kernels: the real search engine and tagger fanned out over a
+// worker pool, the in-process analogue of the paper's fleet of instances.
+// Results are deterministic — identical to the serial kernels and
+// independent of worker scheduling — because each file's result is written
+// to its own slot and aggregated in input order.
+
+// ParallelGrep searches the files with `workers` goroutines (0 or negative
+// means GOMAXPROCS) and returns exactly what the serial GrepFiles returns.
+func (s *Searcher) ParallelGrep(files []vfs.File, workers int) (*GrepResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(files) {
+		workers = len(files)
+	}
+	if workers <= 1 {
+		return s.GrepFiles(files)
+	}
+	results := make([]FileResult, len(files))
+	errs := make([]error, len(files))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f := files[i]
+				r, err := f.Open()
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				matches, err := s.CountReader(r)
+				if err != nil {
+					errs[i] = fmt.Errorf("textproc: grep %s: %w", f.Name, err)
+					continue
+				}
+				results[i] = FileResult{Name: f.Name, Bytes: f.Size, Matches: matches}
+			}
+		}()
+	}
+	for i := range files {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	res := &GrepResult{Files: results}
+	for i := range files {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.Bytes += results[i].Bytes
+		res.Matches += results[i].Matches
+	}
+	return res, nil
+}
+
+// ParallelGrepFS searches the whole file system concurrently.
+func (s *Searcher) ParallelGrepFS(fs *vfs.FS, workers int) (*GrepResult, error) {
+	return s.ParallelGrep(fs.List(), workers)
+}
+
+// ParallelTagFiles tags the files with `workers` goroutines sharing one
+// model instance (the Tagger is read-only after construction) and returns
+// the same merged result as the serial TagFiles.
+func (t *Tagger) ParallelTagFiles(files []vfs.File, workers int) (*POSResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(files) {
+		workers = len(files)
+	}
+	if workers <= 1 {
+		return t.TagFiles(files)
+	}
+	partials := make([]*POSResult, len(files))
+	errs := make([]error, len(files))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				data, err := files[i].ReadAll()
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				_, res := t.TagText(data)
+				partials[i] = res
+			}
+		}()
+	}
+	for i := range files {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	total := &POSResult{TagCounts: make(map[lexicon.Tag]int)}
+	for i := range files {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		p := partials[i]
+		total.Sentences += p.Sentences
+		total.Tokens += p.Tokens
+		total.Words += p.Words
+		total.Unknown += p.Unknown
+		for tag, n := range p.TagCounts {
+			total.TagCounts[tag] += n
+		}
+	}
+	return total, nil
+}

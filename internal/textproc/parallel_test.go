@@ -1,0 +1,161 @@
+package textproc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/vfs"
+)
+
+func contentCorpus(t *testing.T, n int) []vfs.File {
+	t.Helper()
+	files := make([]vfs.File, n)
+	for i := range files {
+		g := corpus.NewGenerator(corpus.NewsStyle(), int64(i+100))
+		files[i] = vfs.BytesFile(fmt.Sprintf("doc-%03d", i), g.Text(2000+i*17))
+	}
+	return files
+}
+
+func TestParallelGrepMatchesSerial(t *testing.T) {
+	files := contentCorpus(t, 60)
+	s, err := NewSearcher("the")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := s.GrepFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 16, 100} {
+		par, err := s.ParallelGrep(files, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Matches != serial.Matches || par.Bytes != serial.Bytes {
+			t.Errorf("workers=%d: totals %d/%d differ from serial %d/%d",
+				workers, par.Matches, par.Bytes, serial.Matches, serial.Bytes)
+		}
+		for i := range serial.Files {
+			if par.Files[i] != serial.Files[i] {
+				t.Errorf("workers=%d file %d: %+v != %+v", workers, i, par.Files[i], serial.Files[i])
+			}
+		}
+	}
+}
+
+func TestParallelGrepDefaultWorkers(t *testing.T) {
+	files := contentCorpus(t, 8)
+	s, _ := NewSearcher("the")
+	par, err := s.ParallelGrep(files, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _ := s.GrepFiles(files)
+	if par.Matches != serial.Matches {
+		t.Error("default worker count changed results")
+	}
+}
+
+func TestParallelGrepFS(t *testing.T) {
+	fs := vfs.NewFS()
+	for _, f := range contentCorpus(t, 10) {
+		if err := fs.Add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, _ := NewSearcher("the")
+	par, err := s.ParallelGrepFS(fs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _ := s.GrepFS(fs)
+	if par.Matches != serial.Matches {
+		t.Error("FS totals differ")
+	}
+}
+
+func TestParallelGrepPropagatesError(t *testing.T) {
+	files := contentCorpus(t, 5)
+	files = append(files, vfs.NewFile("metadata-only", 10))
+	s, _ := NewSearcher("the")
+	if _, err := s.ParallelGrep(files, 3); err == nil {
+		t.Error("expected error for metadata-only file")
+	}
+}
+
+func TestParallelGrepEmpty(t *testing.T) {
+	s, _ := NewSearcher("x")
+	res, err := s.ParallelGrep(nil, 4)
+	if err != nil || res.Matches != 0 {
+		t.Errorf("empty parallel grep: %+v, %v", res, err)
+	}
+}
+
+func TestParallelTagMatchesSerial(t *testing.T) {
+	files := contentCorpus(t, 40)
+	tg := NewTagger()
+	serial, err := tg.TagFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		par, err := tg.ParallelTagFiles(files, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Sentences != serial.Sentences || par.Words != serial.Words || par.Unknown != serial.Unknown {
+			t.Errorf("workers=%d: %+v != serial %+v", workers, par, serial)
+		}
+		for tag, n := range serial.TagCounts {
+			if par.TagCounts[tag] != n {
+				t.Errorf("workers=%d: tag %v count %d != %d", workers, tag, par.TagCounts[tag], n)
+			}
+		}
+	}
+}
+
+func TestParallelTagPropagatesError(t *testing.T) {
+	files := []vfs.File{vfs.NewFile("meta", 5)}
+	tg := NewTagger()
+	if _, err := tg.ParallelTagFiles(files, 2); err == nil {
+		t.Error("expected error for metadata-only file")
+	}
+}
+
+// Run with -race: the shared Tagger must be safe for concurrent use.
+func TestTaggerConcurrentUse(t *testing.T) {
+	tg := NewTagger()
+	files := contentCorpus(t, 30)
+	done := make(chan error, 3)
+	for w := 0; w < 3; w++ {
+		go func() {
+			_, err := tg.ParallelTagFiles(files, 4)
+			done <- err
+		}()
+	}
+	for w := 0; w < 3; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelGrepSpeedup(b *testing.B) {
+	var files []vfs.File
+	for i := 0; i < 64; i++ {
+		g := corpus.NewGenerator(corpus.NewsStyle(), int64(i))
+		files = append(files, vfs.BytesFile(fmt.Sprintf("d%02d", i), g.Text(200_000)))
+	}
+	s, _ := NewSearcher("xyzzyplugh")
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ParallelGrep(files, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

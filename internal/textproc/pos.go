@@ -1,0 +1,225 @@
+package textproc
+
+import (
+	"strings"
+	"unicode"
+
+	"repro/internal/lexicon"
+	"repro/internal/vfs"
+)
+
+// TaggedToken is a token with its assigned part-of-speech tag.
+type TaggedToken struct {
+	Token
+	Tag lexicon.Tag
+}
+
+// Tagger assigns part-of-speech tags using a lexicon, a suffix-based
+// guesser for out-of-vocabulary words, and a bigram transition model —
+// a compact stand-in for the Stanford left3words tagger the paper treats as
+// a black box. Like the paper's wrapper, one Tagger instance processes many
+// files, avoiding per-file model (re)initialisation (the paper's "startup
+// cost of a new JVM for every file").
+//
+// A Tagger is safe for concurrent use after construction: tagging mutates
+// no shared state.
+type Tagger struct {
+	lex map[string][]lexicon.Tag
+	// trans[prev][cur] is the log-ish score of tag cur following prev.
+	trans map[lexicon.Tag]map[lexicon.Tag]float64
+}
+
+// NewTagger builds a tagger over the embedded lexicon. Construction cost is
+// deliberately non-trivial relative to tagging a single small file,
+// mirroring the model-load cost that motivates the paper's batch wrapper.
+func NewTagger() *Tagger {
+	t := &Tagger{lex: lexicon.Entries(), trans: make(map[lexicon.Tag]map[lexicon.Tag]float64)}
+	set := func(prev, cur lexicon.Tag, w float64) {
+		m, ok := t.trans[prev]
+		if !ok {
+			m = make(map[lexicon.Tag]float64)
+			t.trans[prev] = m
+		}
+		m[cur] = w
+	}
+	// Hand-tuned transition weights encoding basic English order.
+	start := lexicon.Tag("START")
+	set(start, lexicon.Det, 2.0)
+	set(start, lexicon.Pronoun, 1.8)
+	set(start, lexicon.ProperN, 1.5)
+	set(start, lexicon.Adverb, 0.6)
+	set(lexicon.Det, lexicon.Noun, 2.0)
+	set(lexicon.Det, lexicon.Adjective, 1.6)
+	set(lexicon.Det, lexicon.PluralN, 1.4)
+	set(lexicon.Adjective, lexicon.Noun, 2.0)
+	set(lexicon.Adjective, lexicon.PluralN, 1.4)
+	set(lexicon.Adjective, lexicon.Adjective, 0.8)
+	set(lexicon.Noun, lexicon.Verb, 1.8)
+	set(lexicon.Noun, lexicon.VerbPast, 1.6)
+	set(lexicon.Noun, lexicon.Prep, 1.2)
+	set(lexicon.Noun, lexicon.Conj, 0.8)
+	set(lexicon.PluralN, lexicon.Verb, 1.8)
+	set(lexicon.PluralN, lexicon.Prep, 1.2)
+	set(lexicon.Pronoun, lexicon.Verb, 2.0)
+	set(lexicon.Pronoun, lexicon.VerbPast, 1.8)
+	set(lexicon.Pronoun, lexicon.Modal, 1.2)
+	set(lexicon.Modal, lexicon.Verb, 2.2)
+	set(lexicon.Verb, lexicon.Det, 1.8)
+	set(lexicon.Verb, lexicon.Adverb, 1.4)
+	set(lexicon.Verb, lexicon.Prep, 1.2)
+	set(lexicon.Verb, lexicon.Pronoun, 1.0)
+	set(lexicon.VerbPast, lexicon.Det, 1.8)
+	set(lexicon.VerbPast, lexicon.Adverb, 1.4)
+	set(lexicon.VerbPast, lexicon.Prep, 1.2)
+	set(lexicon.Adverb, lexicon.Verb, 1.6)
+	set(lexicon.Adverb, lexicon.Adjective, 1.2)
+	set(lexicon.Adverb, lexicon.VerbPast, 1.2)
+	set(lexicon.Prep, lexicon.Det, 2.0)
+	set(lexicon.Prep, lexicon.Noun, 1.2)
+	set(lexicon.Prep, lexicon.ProperN, 1.2)
+	set(lexicon.Conj, lexicon.Det, 1.4)
+	set(lexicon.Conj, lexicon.Pronoun, 1.4)
+	set(lexicon.Conj, lexicon.Verb, 1.0)
+	set(lexicon.ProperN, lexicon.Verb, 1.8)
+	set(lexicon.ProperN, lexicon.VerbPast, 1.6)
+	return t
+}
+
+// candidates returns the possible tags for a word, consulting the lexicon
+// first and the suffix guesser for out-of-vocabulary words. The second
+// return reports whether the word was found in the lexicon.
+func (t *Tagger) candidates(word string) ([]lexicon.Tag, bool) {
+	lower := strings.ToLower(word)
+	if tags, ok := t.lex[lower]; ok {
+		return tags, true
+	}
+	return []lexicon.Tag{GuessTag(word)}, false
+}
+
+// GuessTag assigns a tag to an out-of-vocabulary word from surface clues:
+// digits, capitalisation and derivational suffixes.
+func GuessTag(word string) lexicon.Tag {
+	if word == "" {
+		return lexicon.Unknown
+	}
+	if isNumeric(word) {
+		return lexicon.Number
+	}
+	r := []rune(word)
+	if unicode.IsUpper(r[0]) {
+		return lexicon.ProperN
+	}
+	lower := strings.ToLower(word)
+	switch {
+	case strings.HasSuffix(lower, "ing"):
+		return lexicon.VerbGer
+	case strings.HasSuffix(lower, "ed"):
+		return lexicon.VerbPast
+	case strings.HasSuffix(lower, "ly"):
+		return lexicon.Adverb
+	case strings.HasSuffix(lower, "ous"), strings.HasSuffix(lower, "ful"),
+		strings.HasSuffix(lower, "ive"), strings.HasSuffix(lower, "able"):
+		return lexicon.Adjective
+	case strings.HasSuffix(lower, "ness"), strings.HasSuffix(lower, "tion"),
+		strings.HasSuffix(lower, "ment"), strings.HasSuffix(lower, "ism"),
+		strings.HasSuffix(lower, "ity"), strings.HasSuffix(lower, "er"):
+		return lexicon.Noun
+	case strings.HasSuffix(lower, "s"):
+		return lexicon.PluralN
+	}
+	return lexicon.Noun
+}
+
+func isNumeric(word string) bool {
+	for _, r := range word {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return len(word) > 0
+}
+
+// TagSentence tags one sentence with greedy bigram decoding: each token
+// takes the candidate tag maximising lexical preference (candidate order)
+// plus the transition score from the previous tag.
+func (t *Tagger) TagSentence(sentence []Token) []TaggedToken {
+	out := make([]TaggedToken, 0, len(sentence))
+	prev := lexicon.Tag("START")
+	for _, tok := range sentence {
+		if tok.Punct {
+			out = append(out, TaggedToken{Token: tok, Tag: lexicon.Punct})
+			continue
+		}
+		cands, _ := t.candidates(tok.Text)
+		best := cands[0]
+		bestScore := -1e9
+		for rank, cand := range cands {
+			// Lexical preference decays with rank; transitions add context.
+			score := -0.5 * float64(rank)
+			if m, ok := t.trans[prev]; ok {
+				score += m[cand]
+			}
+			if score > bestScore {
+				bestScore = score
+				best = cand
+			}
+		}
+		out = append(out, TaggedToken{Token: tok, Tag: best})
+		prev = best
+	}
+	return out
+}
+
+// POSResult aggregates a tagging run.
+type POSResult struct {
+	Sentences int
+	Tokens    int
+	Words     int
+	Unknown   int // out-of-vocabulary words routed through the guesser
+	TagCounts map[lexicon.Tag]int
+}
+
+// TagText tokenises, splits and tags a whole document.
+func (t *Tagger) TagText(text []byte) ([][]TaggedToken, *POSResult) {
+	tokens := Tokenize(text)
+	sentences := SplitSentences(tokens)
+	res := &POSResult{TagCounts: make(map[lexicon.Tag]int)}
+	tagged := make([][]TaggedToken, 0, len(sentences))
+	for _, s := range sentences {
+		ts := t.TagSentence(s)
+		tagged = append(tagged, ts)
+		res.Sentences++
+		for _, tt := range ts {
+			res.Tokens++
+			res.TagCounts[tt.Tag]++
+			if !tt.Punct {
+				res.Words++
+				if _, known := t.candidates(tt.Text); !known {
+					res.Unknown++
+				}
+			}
+		}
+	}
+	return tagged, res
+}
+
+// TagFiles tags a batch of files with one shared model instance (the
+// paper's wrapper pattern) and returns the merged result.
+func (t *Tagger) TagFiles(files []vfs.File) (*POSResult, error) {
+	total := &POSResult{TagCounts: make(map[lexicon.Tag]int)}
+	for _, f := range files {
+		data, err := f.ReadAll()
+		if err != nil {
+			return nil, err
+		}
+		_, res := t.TagText(data)
+		total.Sentences += res.Sentences
+		total.Tokens += res.Tokens
+		total.Words += res.Words
+		total.Unknown += res.Unknown
+		for tag, n := range res.TagCounts {
+			total.TagCounts[tag] += n
+		}
+	}
+	return total, nil
+}

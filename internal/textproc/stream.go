@@ -1,0 +1,72 @@
+package textproc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/lexicon"
+)
+
+// Streaming tagging. TagText tokenises the whole document in memory — fine
+// for the corpus's small files, but exactly the pattern that makes the
+// memory-bound tagger degrade on large merged unit files (Fig. 7). The
+// streaming path processes one sentence at a time over an io.Reader with
+// bounded memory, so merged unit files of any size can be tagged without
+// the blow-up.
+
+// maxSentenceBytes bounds a single sentence buffer; pathological inputs
+// with no sentence-final punctuation are flushed at this size.
+const maxSentenceBytes = 1 << 20
+
+// TagReader tags the text streamed from r, returning the same aggregate
+// result TagText would produce for the full content. Memory use is bounded
+// by the longest sentence (capped at maxSentenceBytes), not the input.
+func (t *Tagger) TagReader(r io.Reader) (*POSResult, error) {
+	res := &POSResult{TagCounts: make(map[lexicon.Tag]int)}
+	br := bufio.NewReaderSize(r, 64*1024)
+	buf := make([]byte, 0, 4096)
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		t.accumulate(buf, res)
+		buf = buf[:0]
+	}
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			flush()
+			return res, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("textproc: streaming tag: %w", err)
+		}
+		buf = append(buf, b)
+		if b == '.' || b == '!' || b == '?' || len(buf) >= maxSentenceBytes {
+			flush()
+		}
+	}
+}
+
+// accumulate tags one chunk (a sentence, usually) into the running result.
+func (t *Tagger) accumulate(chunk []byte, res *POSResult) {
+	tokens := Tokenize(chunk)
+	for _, sentence := range SplitSentences(tokens) {
+		if len(sentence) == 0 {
+			continue
+		}
+		tagged := t.TagSentence(sentence)
+		res.Sentences++
+		for _, tt := range tagged {
+			res.Tokens++
+			res.TagCounts[tt.Tag]++
+			if !tt.Punct {
+				res.Words++
+				if _, known := t.candidates(tt.Text); !known {
+					res.Unknown++
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package textproc
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func TestTagReaderMatchesTagText(t *testing.T) {
+	g := corpus.NewGenerator(corpus.NewsStyle(), 31)
+	text := g.Text(50_000)
+	tg := NewTagger()
+	_, want := tg.TagText(text)
+	got, err := tg.TagReader(bytes.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sentences != want.Sentences || got.Words != want.Words ||
+		got.Tokens != want.Tokens || got.Unknown != want.Unknown {
+		t.Errorf("streaming %+v != batch %+v", got, want)
+	}
+	for tag, n := range want.TagCounts {
+		if got.TagCounts[tag] != n {
+			t.Errorf("tag %v: %d != %d", tag, got.TagCounts[tag], n)
+		}
+	}
+}
+
+func TestTagReaderTinyChunks(t *testing.T) {
+	g := corpus.NewGenerator(corpus.PlainStyle(), 32)
+	text := g.Text(5000)
+	tg := NewTagger()
+	_, want := tg.TagText(text)
+	got, err := tg.TagReader(&drizzleReaderS{data: text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Words != want.Words || got.Sentences != want.Sentences {
+		t.Errorf("chunked streaming differs: %+v vs %+v", got, want)
+	}
+}
+
+// drizzleReaderS yields one byte at a time.
+type drizzleReaderS struct{ data []byte }
+
+func (d *drizzleReaderS) Read(p []byte) (int, error) {
+	if len(d.data) == 0 {
+		return 0, io.EOF
+	}
+	p[0] = d.data[0]
+	d.data = d.data[1:]
+	return 1, nil
+}
+
+func TestTagReaderEmpty(t *testing.T) {
+	tg := NewTagger()
+	res, err := tg.TagReader(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sentences != 0 || res.Words != 0 {
+		t.Errorf("empty stream result: %+v", res)
+	}
+}
+
+func TestTagReaderNoTerminator(t *testing.T) {
+	// A trailing fragment without '.' still gets tagged on EOF.
+	tg := NewTagger()
+	res, err := tg.TagReader(strings.NewReader("the cat sat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sentences != 1 || res.Words != 3 {
+		t.Errorf("fragment result: %+v", res)
+	}
+}
+
+func TestTagReaderPropagatesError(t *testing.T) {
+	tg := NewTagger()
+	if _, err := tg.TagReader(failingReader{}); err == nil {
+		t.Error("expected read error")
+	}
+}
+
+func TestTagReaderPathologicalLongSentence(t *testing.T) {
+	// A "sentence" longer than the buffer cap must be flushed in pieces,
+	// not accumulate unboundedly.
+	tg := NewTagger()
+	long := strings.Repeat("word ", (maxSentenceBytes/5)+1000)
+	res, err := tg.TagReader(strings.NewReader(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Words == 0 {
+		t.Error("no words tagged from the pathological stream")
+	}
+}

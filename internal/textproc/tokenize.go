@@ -1,0 +1,117 @@
+// Package textproc implements the two real text-processing applications the
+// paper evaluates: a streaming search engine (the grep stand-in) and a
+// lexicon-driven part-of-speech tagger (the Stanford-tagger stand-in). Both
+// operate on real bytes, so reshaping experiments can verify end-to-end that
+// merging files never changes application output.
+package textproc
+
+import (
+	"unicode"
+)
+
+// Token is a word or punctuation unit with its byte offset in the source.
+type Token struct {
+	Text  string
+	Start int
+	Punct bool
+}
+
+// sentenceEnders terminate a sentence.
+func isSentenceEnd(s string) bool {
+	return s == "." || s == "!" || s == "?"
+}
+
+// Tokenize splits text into word and punctuation tokens. Words are maximal
+// runs of letters, digits and apostrophes; every other non-space character
+// is a single punctuation token. The tokenizer is ASCII-oriented (the
+// corpus generator emits ASCII) but safe on arbitrary UTF-8: multi-byte
+// runes are treated as word characters when letters and punctuation
+// otherwise.
+func Tokenize(text []byte) []Token {
+	var tokens []Token
+	i := 0
+	n := len(text)
+	for i < n {
+		c := text[i]
+		switch {
+		case c == ' ' || c == '\n' || c == '\t' || c == '\r':
+			i++
+		case isWordByte(c):
+			start := i
+			for i < n && isWordByte(text[i]) {
+				i++
+			}
+			tokens = append(tokens, Token{Text: string(text[start:i]), Start: start})
+		default:
+			// A single punctuation byte (or the lead byte of a multi-byte
+			// rune, consumed together with its continuation bytes).
+			start := i
+			i++
+			for i < n && text[i]&0xC0 == 0x80 {
+				i++
+			}
+			r := []rune(string(text[start:i]))
+			punct := true
+			if len(r) == 1 && (unicode.IsLetter(r[0]) || unicode.IsDigit(r[0])) {
+				punct = false
+			}
+			tokens = append(tokens, Token{Text: string(text[start:i]), Start: start, Punct: punct})
+		}
+	}
+	return tokens
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '\''
+}
+
+// SplitSentences groups tokens into sentences at sentence-final punctuation.
+// A trailing fragment without a terminator forms a final sentence.
+func SplitSentences(tokens []Token) [][]Token {
+	var sentences [][]Token
+	start := 0
+	for i, tok := range tokens {
+		if tok.Punct && isSentenceEnd(tok.Text) {
+			sentences = append(sentences, tokens[start:i+1])
+			start = i + 1
+		}
+	}
+	if start < len(tokens) {
+		sentences = append(sentences, tokens[start:])
+	}
+	return sentences
+}
+
+// TextStats summarises the linguistic shape of a text; the workload cost
+// model uses it to price POS tagging (sentence length is the paper's
+// "important parameter for POS tagging", §5.2).
+type TextStats struct {
+	Tokens       int
+	Words        int // non-punctuation tokens
+	Sentences    int
+	MeanSentence float64 // mean words per sentence
+	MaxSentence  int
+}
+
+// Analyze computes TextStats for a text.
+func Analyze(text []byte) TextStats {
+	tokens := Tokenize(text)
+	sentences := SplitSentences(tokens)
+	st := TextStats{Tokens: len(tokens), Sentences: len(sentences)}
+	for _, s := range sentences {
+		words := 0
+		for _, t := range s {
+			if !t.Punct {
+				words++
+			}
+		}
+		st.Words += words
+		if words > st.MaxSentence {
+			st.MaxSentence = words
+		}
+	}
+	if st.Sentences > 0 {
+		st.MeanSentence = float64(st.Words) / float64(st.Sentences)
+	}
+	return st
+}

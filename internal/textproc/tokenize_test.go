@@ -1,0 +1,121 @@
+package textproc
+
+import (
+	"testing"
+)
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeWordsAndPunct(t *testing.T) {
+	toks := Tokenize([]byte("The cat, quickly."))
+	want := []string{"The", "cat", ",", "quickly", "."}
+	got := texts(toks)
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if !toks[2].Punct || !toks[4].Punct {
+		t.Error("punctuation not flagged")
+	}
+	if toks[0].Punct || toks[1].Punct {
+		t.Error("words flagged as punctuation")
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	text := []byte("ab cd.")
+	toks := Tokenize(text)
+	if toks[0].Start != 0 || toks[1].Start != 3 || toks[2].Start != 5 {
+		t.Errorf("offsets wrong: %+v", toks)
+	}
+	for _, tok := range toks {
+		if got := string(text[tok.Start : tok.Start+len(tok.Text)]); got != tok.Text {
+			t.Errorf("offset slice %q != token %q", got, tok.Text)
+		}
+	}
+}
+
+func TestTokenizeEmptyAndWhitespace(t *testing.T) {
+	if toks := Tokenize(nil); len(toks) != 0 {
+		t.Errorf("tokens of nil = %v", toks)
+	}
+	if toks := Tokenize([]byte("  \n\t ")); len(toks) != 0 {
+		t.Errorf("tokens of whitespace = %v", toks)
+	}
+}
+
+func TestTokenizeApostropheAndDigits(t *testing.T) {
+	toks := texts(Tokenize([]byte("it's 42 o'clock")))
+	want := []string{"it's", "42", "o'clock"}
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeMultibyteRune(t *testing.T) {
+	toks := Tokenize([]byte("a é b"))
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %v", texts(toks))
+	}
+	if toks[1].Text != "é" {
+		t.Errorf("middle token = %q", toks[1].Text)
+	}
+	if toks[1].Punct {
+		t.Error("letter rune flagged as punctuation")
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	toks := Tokenize([]byte("One two. Three! Four five"))
+	sents := SplitSentences(toks)
+	if len(sents) != 3 {
+		t.Fatalf("sentences = %d, want 3", len(sents))
+	}
+	if len(sents[0]) != 3 || len(sents[1]) != 2 || len(sents[2]) != 2 {
+		t.Errorf("sentence lengths: %d %d %d", len(sents[0]), len(sents[1]), len(sents[2]))
+	}
+}
+
+func TestSplitSentencesEmpty(t *testing.T) {
+	if s := SplitSentences(nil); len(s) != 0 {
+		t.Errorf("sentences of nil = %v", s)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	st := Analyze([]byte("The cat sat. The dog, however, ran away quickly."))
+	if st.Sentences != 2 {
+		t.Errorf("sentences = %d, want 2", st.Sentences)
+	}
+	if st.Words != 3+6 {
+		t.Errorf("words = %d, want 9", st.Words)
+	}
+	if st.MaxSentence != 6 {
+		t.Errorf("max sentence = %d, want 6", st.MaxSentence)
+	}
+	if st.MeanSentence != 4.5 {
+		t.Errorf("mean sentence = %v, want 4.5", st.MeanSentence)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	st := Analyze(nil)
+	if st.Sentences != 0 || st.Words != 0 || st.MeanSentence != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}

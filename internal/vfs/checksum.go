@@ -1,0 +1,100 @@
+package vfs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// Content integrity: reshaping must never corrupt data, and exported unit
+// files must be provably identical to their sources. Checksums are
+// FNV-64a — not cryptographic, but collision-safe enough for manifest
+// verification and fully deterministic.
+
+// Checksum streams a file's content through FNV-64a.
+func Checksum(f File) (uint64, error) {
+	r, err := f.Open()
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	if _, err := io.Copy(h, r); err != nil {
+		return 0, fmt.Errorf("vfs: checksum %q: %w", f.Name, err)
+	}
+	return h.Sum64(), nil
+}
+
+// Manifest maps file names to (size, checksum).
+type Manifest map[string]ManifestEntry
+
+// ManifestEntry records one file's identity.
+type ManifestEntry struct {
+	Size     int64
+	Checksum uint64
+}
+
+// BuildManifest checksums every content-backed file of the file system.
+func BuildManifest(fs *FS) (Manifest, error) {
+	m := make(Manifest, fs.Len())
+	for _, f := range fs.List() {
+		sum, err := Checksum(f)
+		if err != nil {
+			return nil, err
+		}
+		m[f.Name] = ManifestEntry{Size: f.Size, Checksum: sum}
+	}
+	return m, nil
+}
+
+// Verify checks the file system against the manifest: every manifest entry
+// must exist with matching size and checksum, and the file system must not
+// contain extra files. The first violation is returned as an error.
+func (m Manifest) Verify(fs *FS) error {
+	if fs.Len() != len(m) {
+		return fmt.Errorf("vfs: manifest has %d entries, file system %d files", len(m), fs.Len())
+	}
+	// Deterministic iteration for stable error messages.
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := m[name]
+		f, err := fs.Get(name)
+		if err != nil {
+			return fmt.Errorf("vfs: manifest entry %q missing: %w", name, err)
+		}
+		if f.Size != want.Size {
+			return fmt.Errorf("vfs: %q size %d != manifest %d", name, f.Size, want.Size)
+		}
+		sum, err := Checksum(f)
+		if err != nil {
+			return err
+		}
+		if sum != want.Checksum {
+			return fmt.Errorf("vfs: %q checksum %x != manifest %x", name, sum, want.Checksum)
+		}
+	}
+	return nil
+}
+
+// CombinedChecksum hashes the concatenation of all files in List order —
+// the whole-corpus identity. Two file systems holding the same bytes in
+// the same order (regardless of file boundaries) produce the same value,
+// which is exactly the reshaping invariant: merging files moves boundaries
+// but never bytes.
+func CombinedChecksum(fs *FS) (uint64, error) {
+	h := fnv.New64a()
+	for _, f := range fs.List() {
+		r, err := f.Open()
+		if err != nil {
+			return 0, err
+		}
+		if _, err := io.Copy(h, r); err != nil {
+			return 0, fmt.Errorf("vfs: combined checksum at %q: %w", f.Name, err)
+		}
+	}
+	return h.Sum64(), nil
+}

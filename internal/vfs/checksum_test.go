@@ -1,0 +1,112 @@
+package vfs
+
+import "testing"
+
+func TestChecksumDeterministicAndDiscriminating(t *testing.T) {
+	a := BytesFile("a", []byte("hello"))
+	sum1, err := Checksum(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum2, err := Checksum(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum1 != sum2 {
+		t.Error("checksum not deterministic")
+	}
+	b := BytesFile("b", []byte("hellp"))
+	sumB, err := Checksum(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumB == sum1 {
+		t.Error("different content, same checksum")
+	}
+	if _, err := Checksum(NewFile("meta", 5)); err == nil {
+		t.Error("expected error for metadata-only file")
+	}
+}
+
+func TestManifestVerify(t *testing.T) {
+	fs := NewFS()
+	_ = fs.Add(BytesFile("x", []byte("one")))
+	_ = fs.Add(BytesFile("y", []byte("two")))
+	m, err := BuildManifest(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(fs); err != nil {
+		t.Fatalf("self-verify failed: %v", err)
+	}
+
+	// Missing file.
+	fs2 := NewFS()
+	_ = fs2.Add(BytesFile("x", []byte("one")))
+	if err := m.Verify(fs2); err == nil {
+		t.Error("expected error for missing file")
+	}
+	// Extra file.
+	fs3 := NewFS()
+	_ = fs3.Add(BytesFile("x", []byte("one")))
+	_ = fs3.Add(BytesFile("y", []byte("two")))
+	_ = fs3.Add(BytesFile("z", []byte("three")))
+	if err := m.Verify(fs3); err == nil {
+		t.Error("expected error for extra file")
+	}
+	// Corrupted content (same size).
+	fs4 := NewFS()
+	_ = fs4.Add(BytesFile("x", []byte("one")))
+	_ = fs4.Add(BytesFile("y", []byte("tWo")))
+	if err := m.Verify(fs4); err == nil {
+		t.Error("expected error for corrupted content")
+	}
+	// Wrong size.
+	fs5 := NewFS()
+	_ = fs5.Add(BytesFile("x", []byte("one")))
+	_ = fs5.Add(BytesFile("y", []byte("twooo")))
+	if err := m.Verify(fs5); err == nil {
+		t.Error("expected error for wrong size")
+	}
+}
+
+func TestCombinedChecksumReshapingInvariant(t *testing.T) {
+	// The byte stream is identical whether the corpus is one file or many:
+	// merging moves boundaries, never bytes.
+	parts := NewFS()
+	_ = parts.Add(BytesFile("a", []byte("abc")))
+	_ = parts.Add(BytesFile("b", []byte("defg")))
+	_ = parts.Add(BytesFile("c", []byte("hi")))
+
+	merged := NewFS()
+	_ = merged.Add(Concat("unit-0", []File{
+		BytesFile("a", []byte("abc")),
+		BytesFile("b", []byte("defg")),
+		BytesFile("c", []byte("hi")),
+	}))
+
+	sumParts, err := CombinedChecksum(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumMerged, err := CombinedChecksum(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumParts != sumMerged {
+		t.Error("reshaping changed the combined byte stream")
+	}
+
+	// But different bytes change it.
+	other := NewFS()
+	_ = other.Add(BytesFile("a", []byte("abX")))
+	_ = other.Add(BytesFile("b", []byte("defg")))
+	_ = other.Add(BytesFile("c", []byte("hi")))
+	sumOther, err := CombinedChecksum(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumOther == sumParts {
+		t.Error("different corpus, same combined checksum")
+	}
+}

@@ -1,0 +1,281 @@
+// Package vfs provides a lightweight virtual file system used to model
+// corpora of millions of small files without holding their bytes in memory.
+//
+// A File is (name, size, content source). The content source is optional:
+// the packing and provisioning layers consume only metadata, while the real
+// text-processing kernels (grep, POS tagging) open files and stream bytes
+// that are materialised deterministically on demand. Concatenation — the
+// paper's reshaping operation — is a zero-copy view over member files, so a
+// merged unit file always contains exactly the bytes of its members in
+// order.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Opener produces a fresh reader over a file's content. Implementations
+// must return independent readers on each call so files can be read
+// concurrently and repeatedly.
+type Opener func() io.Reader
+
+// File is a named, sized blob with optional lazily-materialised content.
+type File struct {
+	Name    string
+	Size    int64
+	content Opener
+}
+
+// NewFile creates a metadata-only file (no content source).
+func NewFile(name string, size int64) File {
+	return File{Name: name, Size: size}
+}
+
+// NewContentFile creates a file whose bytes come from open. The declared
+// size must match the content length; ReadAll validates this.
+func NewContentFile(name string, size int64, open Opener) File {
+	return File{Name: name, Size: size, content: open}
+}
+
+// BytesFile creates a file backed by an in-memory byte slice. The slice is
+// not copied; callers must not mutate it afterwards.
+func BytesFile(name string, data []byte) File {
+	return File{
+		Name: name,
+		Size: int64(len(data)),
+		content: func() io.Reader {
+			return &sliceReader{data: data}
+		},
+	}
+}
+
+// sliceReader is a minimal io.Reader over a byte slice (bytes.NewReader
+// would also do; this keeps File free of retained Reader state).
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// HasContent reports whether the file carries a content source.
+func (f File) HasContent() bool { return f.content != nil }
+
+// Open returns a new reader over the file's content. It returns an error
+// for metadata-only files.
+func (f File) Open() (io.Reader, error) {
+	if f.content == nil {
+		return nil, fmt.Errorf("vfs: file %q is metadata-only", f.Name)
+	}
+	return f.content(), nil
+}
+
+// ReadAll materialises the full content of the file and validates that its
+// length matches the declared size.
+func (f File) ReadAll() ([]byte, error) {
+	r, err := f.Open()
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("vfs: reading %q: %w", f.Name, err)
+	}
+	if int64(len(data)) != f.Size {
+		return nil, fmt.Errorf("vfs: file %q declared %d bytes but content has %d", f.Name, f.Size, len(data))
+	}
+	return data, nil
+}
+
+// Concat builds a single merged file whose content is the concatenation of
+// the members' contents in order — the reshaped "unit file" of the paper.
+// The members are captured by value; later mutation of the input slice does
+// not affect the merged file. Metadata-only members produce a metadata-only
+// merged file.
+func Concat(name string, members []File) File {
+	var size int64
+	allContent := true
+	captured := append([]File(nil), members...)
+	for _, m := range captured {
+		size += m.Size
+		if !m.HasContent() {
+			allContent = false
+		}
+	}
+	f := File{Name: name, Size: size}
+	if allContent && len(captured) > 0 {
+		f.content = func() io.Reader {
+			readers := make([]io.Reader, len(captured))
+			for i, m := range captured {
+				readers[i] = m.mustOpen()
+			}
+			return io.MultiReader(readers...)
+		}
+	}
+	return f
+}
+
+func (f File) mustOpen() io.Reader {
+	r, err := f.Open()
+	if err != nil {
+		// Only reachable through misuse of Concat internals; surface loudly.
+		panic(err)
+	}
+	return r
+}
+
+// ErrNotFound is returned by FS lookups for unknown names.
+var ErrNotFound = errors.New("vfs: file not found")
+
+// FS is an ordered collection of Files keyed by name.
+type FS struct {
+	files map[string]File
+	order []string // insertion order; List sorts lazily
+	dirty bool     // order needs re-sorting before deterministic listing
+	total int64
+}
+
+// NewFS returns an empty file system.
+func NewFS() *FS {
+	return &FS{files: make(map[string]File)}
+}
+
+// Add inserts a file, rejecting duplicates and negative sizes.
+func (fs *FS) Add(f File) error {
+	if f.Name == "" {
+		return fmt.Errorf("vfs: empty file name")
+	}
+	if f.Size < 0 {
+		return fmt.Errorf("vfs: file %q has negative size %d", f.Name, f.Size)
+	}
+	if _, exists := fs.files[f.Name]; exists {
+		return fmt.Errorf("vfs: file %q already exists", f.Name)
+	}
+	fs.files[f.Name] = f
+	fs.order = append(fs.order, f.Name)
+	fs.dirty = true
+	fs.total += f.Size
+	return nil
+}
+
+// Remove deletes a file by name.
+func (fs *FS) Remove(name string) error {
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(fs.files, name)
+	fs.total -= f.Size
+	for i, n := range fs.order {
+		if n == name {
+			fs.order = append(fs.order[:i], fs.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Get looks up a file by name.
+func (fs *FS) Get(name string) (File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return File{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return f, nil
+}
+
+// Len returns the number of files.
+func (fs *FS) Len() int { return len(fs.files) }
+
+// TotalSize returns the summed size of all files.
+func (fs *FS) TotalSize() int64 { return fs.total }
+
+// List returns all files sorted by name, for deterministic iteration.
+func (fs *FS) List() []File {
+	if fs.dirty {
+		sort.Strings(fs.order)
+		fs.dirty = false
+	}
+	out := make([]File, 0, len(fs.order))
+	for _, name := range fs.order {
+		out = append(out, fs.files[name])
+	}
+	return out
+}
+
+// Sizes returns the sizes of all files in List order.
+func (fs *FS) Sizes() []int64 {
+	files := fs.List()
+	sizes := make([]int64, len(files))
+	for i, f := range files {
+		sizes[i] = f.Size
+	}
+	return sizes
+}
+
+// Export writes every content-backed file under dir on the real file
+// system, creating parent directories as needed. Metadata-only files cause
+// an error: exporting would silently lose data otherwise.
+func (fs *FS) Export(dir string) error {
+	for _, f := range fs.List() {
+		data, err := f.ReadAll()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, filepath.FromSlash(f.Name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("vfs: export: %w", err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return fmt.Errorf("vfs: export: %w", err)
+		}
+	}
+	return nil
+}
+
+// ImportDir loads every regular file under dir on the real file system into
+// a new FS, with names relative to dir (slash-separated).
+func ImportDir(dir string) (*FS, error) {
+	fs := NewFS()
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		name := filepath.ToSlash(rel)
+		p := path
+		return fs.Add(NewContentFile(name, info.Size(), func() io.Reader {
+			f, err := os.Open(p)
+			if err != nil {
+				return &errReader{err}
+			}
+			return f
+		}))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vfs: import %s: %w", dir, err)
+	}
+	return fs, nil
+}
+
+type errReader struct{ err error }
+
+func (e *errReader) Read([]byte) (int, error) { return 0, e.err }

@@ -1,0 +1,178 @@
+// Package repro is a reproduction of "Reshaping text data for efficient
+// processing on Amazon EC2" (Turcu, Foster, Nestorov; Scientific
+// Programming 19, 2011): reshape corpora of small files into unit files of
+// an empirically-preferred size, fit a black-box performance model from
+// probes, and derive EC2 execution plans that meet a deadline at minimal
+// cost under hour-granular pricing.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/core:      the end-to-end pipeline (probe → model → plan)
+//   - internal/binpack:   first-fit / subset-sum packing heuristics
+//   - internal/perfmodel: regression model families and deadline adjustment
+//   - internal/provision: the §5 static planner and plan executor
+//   - internal/cloudsim:  the deterministic EC2 simulator
+//   - internal/corpus:    synthetic Newslab-like corpora
+//   - internal/textproc:  real grep and POS-tagging kernels
+//   - internal/sched:     dynamic monitoring and spot plans (§7 extensions)
+//
+// Quick start:
+//
+//	fs, _ := repro.GenerateCorpus(repro.Text400K(0.01), 42)
+//	p, _ := repro.NewPipeline(repro.PipelineConfig{
+//	    Seed:            42,
+//	    App:             repro.NewPOSApp(),
+//	    DeadlineSeconds: 3600,
+//	})
+//	result, _ := p.Run(fs)
+//	outcome, _ := p.Execute(result)
+package repro
+
+import (
+	"repro/internal/cloudsim"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+	"repro/internal/provision"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+// Pipeline aliases for the end-to-end workflow.
+type (
+	// Pipeline drives probe → model → reshape → plan → execute.
+	Pipeline = core.Pipeline
+	// PipelineConfig parameterises a pipeline run.
+	PipelineConfig = core.Config
+	// PipelineResult carries the pipeline's artefacts.
+	PipelineResult = core.Result
+)
+
+// NewPipeline constructs a pipeline with its own simulated cloud.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) { return core.New(cfg) }
+
+// Reshape packs a corpus's files into unit files of the given size and
+// returns the merged file system plus the packing manifest.
+var Reshape = core.Reshape
+
+// Corpus construction.
+type (
+	// FS is the virtual file system corpora live in.
+	FS = vfs.FS
+	// File is one (possibly content-backed) corpus file.
+	File = vfs.File
+	// CorpusSpec describes a synthetic dataset.
+	CorpusSpec = corpus.Spec
+)
+
+// NewFS returns an empty virtual file system.
+func NewFS() *FS { return vfs.NewFS() }
+
+// ImportDir loads a real directory tree into a virtual file system.
+var ImportDir = vfs.ImportDir
+
+// HTML18Mil returns the HTML news-corpus spec at the given scale
+// (1.0 = the paper's 18 million files).
+var HTML18Mil = corpus.HTML18Mil
+
+// Text400K returns the extracted-text corpus spec at the given scale
+// (1.0 = the paper's 400,000 files).
+var Text400K = corpus.Text400K
+
+// GenerateCorpus builds a metadata-only synthetic corpus.
+var GenerateCorpus = corpus.Generate
+
+// GenerateCorpusWithContent builds a corpus with deterministic text bytes.
+var GenerateCorpusWithContent = corpus.GenerateWithContent
+
+// CorpusProfile pairs a corpus with per-file complexity factors for
+// heterogeneous-complexity studies (§5.2's closing observation).
+type CorpusProfile = corpus.Profile
+
+// GenerateCorpusProfile builds a corpus whose files carry complexity
+// factors along a gradient.
+var GenerateCorpusProfile = corpus.GenerateProfile
+
+// Complexity gradients for GenerateCorpusProfile.
+type (
+	// FlatComplexity is a uniform-complexity corpus.
+	FlatComplexity = corpus.FlatComplexity
+	// RampComplexity rises linearly across the corpus.
+	RampComplexity = corpus.RampComplexity
+)
+
+// Applications.
+
+// App is a black-box application cost model (grep or the POS tagger).
+type App = workload.App
+
+// NewGrepApp returns the calibrated I/O-bound grep model.
+func NewGrepApp() App { return workload.NewGrep() }
+
+// NewPOSApp returns the calibrated CPU/memory-bound POS-tagger model.
+func NewPOSApp() App { return workload.NewPOS() }
+
+// NewSearcher compiles a literal streaming search pattern (the real grep
+// kernel, for running over content-backed corpora).
+var NewSearcher = textproc.NewSearcher
+
+// NewTagger builds the real lexicon-driven POS tagger.
+var NewTagger = textproc.NewTagger
+
+// ExtractHTMLText strips markup from HTML, the operation that derived the
+// paper's text corpus from its HTML corpus.
+var ExtractHTMLText = textproc.ExtractText
+
+// ExtractCorpus derives a text corpus from an HTML corpus file-by-file.
+var ExtractCorpus = textproc.ExtractFS
+
+// Modeling and planning.
+type (
+	// Model is a fitted execution-time predictor.
+	Model = perfmodel.Model
+	// Plan is a static provisioning plan.
+	Plan = provision.Plan
+	// Planner builds plans from a model and pricing.
+	Planner = provision.Planner
+	// Cloud is the simulated EC2 region.
+	Cloud = cloudsim.Cloud
+)
+
+// NewCloud creates a deterministic simulated cloud.
+var NewCloud = cloudsim.New
+
+// NewPlanner creates a planner at the paper's small-instance rate.
+var NewPlanner = provision.NewPlanner
+
+// ExecutePlan runs a plan on a simulated cloud.
+var ExecutePlan = provision.Execute
+
+// SelectModelByCV chooses a performance-model family by k-fold
+// cross-validation instead of in-sample R².
+var SelectModelByCV = perfmodel.SelectByCV
+
+// Experiments.
+
+// RunExperiment regenerates one of the paper's tables or figures by ID
+// (fig1a … fig9c, eq12, eq34, complexity, switchcalc, costfn).
+func RunExperiment(id string, cfg experiments.Config) (*experiments.Report, error) {
+	d, ok := experiments.Lookup(id)
+	if !ok {
+		return nil, errUnknownExperiment(id)
+	}
+	return d(cfg)
+}
+
+// ExperimentConfig parameterises experiment reproduction.
+type ExperimentConfig = experiments.Config
+
+// ExperimentReport is a regenerated table/figure.
+type ExperimentReport = experiments.Report
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "repro: unknown experiment " + string(e)
+}

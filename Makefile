@@ -1,0 +1,34 @@
+# Developer entry points. `make verify` is the gate CI and pre-commit run;
+# `make bench` regenerates BENCH.json; `make bench-smoke` just proves every
+# benchmark still executes.
+
+GO ?= go
+
+.PHONY: all build test verify bench bench-smoke clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 gate: vet clean and the full suite race-clean.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# bench regenerates BENCH.json, the committed record of the acceptance
+# numbers (indexed packers vs linear references, tokenizer allocations,
+# parallel checksum/grep fan-outs).
+bench:
+	$(GO) run ./cmd/bench -out BENCH.json
+
+# bench-smoke runs every benchmark exactly once — an execution check, not a
+# measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+clean:
+	$(GO) clean ./...

@@ -142,9 +142,23 @@ func benchItems(n int, seed int64) []binpack.Item {
 
 func BenchmarkFirstFit10k(b *testing.B) {
 	items := benchItems(10_000, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := binpack.FirstFit(items, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFirstFitLinear10k is the O(n·bins) reference scan the indexed
+// FirstFit replaced; kept as the speedup baseline.
+func BenchmarkFirstFitLinear10k(b *testing.B) {
+	items := benchItems(10_000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := binpack.FirstFitLinear(items, 1_000_000); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -162,9 +176,23 @@ func BenchmarkFirstFitDecreasing10k(b *testing.B) {
 
 func BenchmarkSubsetSumFirstFit10k(b *testing.B) {
 	items := benchItems(10_000, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := binpack.SubsetSumFirstFit(items, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubsetSumFirstFitLinear10k is the quadratic reference for the
+// indexed subset-sum packer.
+func BenchmarkSubsetSumFirstFitLinear10k(b *testing.B) {
+	items := benchItems(10_000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := binpack.SubsetSumFirstFitLinear(items, 1_000_000); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -223,9 +251,42 @@ func BenchmarkTokenize100kB(b *testing.B) {
 	g := corpus.NewGenerator(corpus.NewsStyle(), 5)
 	text := g.Text(100_000)
 	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		textproc.Tokenize(text)
+	}
+}
+
+func BenchmarkParallelGrepFS(b *testing.B) {
+	fs, err := corpus.GenerateWithContentEager(corpus.Text400K(0.0005), 9, 0) // 200 files
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := textproc.NewSearcher("xyzzyplugh")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fs.TotalSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ParallelGrepFS(fs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildManifest(b *testing.B) {
+	fs, err := corpus.GenerateWithContentEager(corpus.Text400K(0.0005), 10, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fs.TotalSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vfs.BuildManifest(fs); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

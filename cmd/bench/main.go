@@ -1,0 +1,155 @@
+// Command bench runs the repository's acceptance benchmarks — the indexed
+// bin packers against their linear references, the zero-allocation
+// tokenizer, and the parallel corpus/checksum/grep fan-outs — via
+// testing.Benchmark and writes the results to BENCH.json. Regenerate with
+//
+//	make bench   # or: go run ./cmd/bench -out BENCH.json
+//
+// The JSON carries ns/op, bytes/op and allocs/op per benchmark plus the
+// derived speedup ratios the performance work is held to.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/binpack"
+	"repro/internal/corpus"
+	"repro/internal/stats"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+)
+
+// Result is one benchmark's outcome.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Output is the BENCH.json schema.
+type Output struct {
+	Results []Result           `json:"results"`
+	Ratios  map[string]float64 `json:"ratios"`
+}
+
+func benchItems(n int) []binpack.Item {
+	dist := corpus.Text400K(1).Sizes
+	r := stats.NewRand(1, "bench-items")
+	items := make([]binpack.Item, n)
+	for i := range items {
+		items[i] = binpack.Item{ID: fmt.Sprintf("f%06d", i), Size: dist.Sample(r)}
+	}
+	return items
+}
+
+func run(name string, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	res := Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	fmt.Printf("%-32s %12.0f ns/op %12d B/op %8d allocs/op\n",
+		res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	return res
+}
+
+func packBench(pack func([]binpack.Item, int64) ([]*binpack.Bin, error), items []binpack.Item) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pack(items, 1_000_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH.json", "output path for the JSON report")
+	flag.Parse()
+
+	items := benchItems(10_000)
+	text := func() []byte {
+		g := corpus.NewGenerator(corpus.NewsStyle(), 5)
+		return g.Text(100_000)
+	}()
+	contentFS, err := corpus.GenerateWithContentEager(corpus.Text400K(0.0005), 8, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	var o Output
+	add := func(r Result) { o.Results = append(o.Results, r) }
+
+	add(run("FirstFit10k", packBench(binpack.FirstFit, items)))
+	add(run("FirstFitLinear10k", packBench(binpack.FirstFitLinear, items)))
+	add(run("SubsetSumFirstFit10k", packBench(binpack.SubsetSumFirstFit, items)))
+	add(run("SubsetSumFirstFitLinear10k", packBench(binpack.SubsetSumFirstFitLinear, items)))
+	add(run("Tokenize100kB", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			textproc.Tokenize(text)
+		}
+	}))
+	add(run("CombinedChecksum200Files", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := vfs.CombinedChecksum(contentFS); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(run("BuildManifest200Files", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := vfs.BuildManifest(contentFS); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(run("ParallelGrep200Files", func(b *testing.B) {
+		s, err := textproc.NewSearcher("xyzzyplugh")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.ParallelGrepFS(contentFS, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	byName := make(map[string]Result, len(o.Results))
+	for _, r := range o.Results {
+		byName[r.Name] = r
+	}
+	o.Ratios = map[string]float64{
+		"firstfit_speedup_vs_linear":  byName["FirstFitLinear10k"].NsPerOp / byName["FirstFit10k"].NsPerOp,
+		"subsetsum_speedup_vs_linear": byName["SubsetSumFirstFitLinear10k"].NsPerOp / byName["SubsetSumFirstFit10k"].NsPerOp,
+	}
+
+	data, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear)\n",
+		*out, o.Ratios["firstfit_speedup_vs_linear"], o.Ratios["subsetsum_speedup_vs_linear"])
+}

@@ -56,11 +56,112 @@ func validate(items []Item, capacity int64) error {
 	return nil
 }
 
+// binMeta accumulates a bin's totals during the placement pass; the Bin
+// structs and their Items slices are materialised afterwards with exact
+// sizes (see buildBins), avoiding the append-growth garbage that dominates
+// the naive packer's profile.
+type binMeta struct {
+	used      int64
+	count     int32
+	oversized bool
+}
+
+// buildBins materialises bins from per-item placements. binAt[i] is the
+// bin index of the i-th placement, in the order placements were made, and
+// itemAt(i) the corresponding item; all bins share one flat item slab
+// (capacity-bounded subslices, so a caller appending to one bin's Items
+// reallocates instead of clobbering its neighbour).
+func buildBins(metas []binMeta, capacity int64, n int, binAt []int32, itemAt func(i int) Item) []*Bin {
+	slab := make([]Item, 0, n)
+	structs := make([]Bin, len(metas))
+	bins := make([]*Bin, len(metas))
+	off := 0
+	for bi, m := range metas {
+		b := &structs[bi]
+		b.Capacity = capacity
+		b.Used = m.used
+		b.Oversized = m.oversized
+		end := off + int(m.count)
+		b.Items = slab[off:off:end]
+		off = end
+		bins[bi] = b
+	}
+	for i := 0; i < n; i++ {
+		b := bins[binAt[i]]
+		b.Items = append(b.Items, itemAt(i))
+	}
+	return bins
+}
+
 // FirstFit packs the items, in the order given, each into the first open bin
 // with room, opening a new bin when none fits. This is the ordering the
 // paper deliberately keeps for the POS workload so that large files do not
 // cluster in the first bins (§5.2).
+//
+// Bins already closed off by the advancing frontier live in a max segment
+// tree over their residual capacities, so "the first earlier bin with room"
+// is an O(log bins) query — and the frontier bin itself (where the vast
+// majority of items land when items are much smaller than the capacity) is
+// kept outside the tree for an O(1) fast path. The output is identical
+// bin-for-bin to the O(n·bins) reference FirstFitLinear.
 func FirstFit(items []Item, capacity int64) ([]*Bin, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("binpack: capacity must be positive, got %d", capacity)
+	}
+	n := len(items)
+	binAt := make([]int32, n)
+	var metas []binMeta
+	ix := newBinIndex()
+	frontier := -1 // position of the open frontier bin; residual tracked here, not in the tree
+	var frontierFree int64
+	for i, it := range items {
+		if it.Size < 0 {
+			return nil, fmt.Errorf("binpack: item %d (%q) has negative size %d", i, it.ID, it.Size)
+		}
+		if it.Size > capacity {
+			// The frontier keeps its position; the oversized bin's tree slot
+			// stays closed (-1) so queries never land on it.
+			metas = append(metas, binMeta{used: it.Size, count: 1, oversized: true})
+			ix.push(-1)
+			binAt[i] = int32(len(metas) - 1)
+			continue
+		}
+		var pos int
+		switch {
+		case ix.count > 0 && ix.tree[1] >= it.Size:
+			// Some closed bin fits; all closed regular bins precede the
+			// frontier, so the leftmost of them is the first-fit choice.
+			pos = ix.findFirst(it.Size)
+			m := &metas[pos]
+			m.used += it.Size
+			m.count++
+			ix.set(pos, capacity-m.used)
+		case frontier >= 0 && frontierFree >= it.Size:
+			pos = frontier
+			m := &metas[pos]
+			m.used += it.Size
+			m.count++
+			frontierFree -= it.Size
+		default:
+			// Close the old frontier into the tree and open a new bin.
+			if frontier >= 0 {
+				ix.set(frontier, frontierFree)
+			}
+			metas = append(metas, binMeta{used: it.Size, count: 1})
+			pos = len(metas) - 1
+			ix.push(-1)
+			frontier = pos
+			frontierFree = capacity - it.Size
+		}
+		binAt[i] = int32(pos)
+	}
+	return buildBins(metas, capacity, n, binAt, func(i int) Item { return items[i] }), nil
+}
+
+// FirstFitLinear is the O(n·bins) reference implementation of FirstFit —
+// a plain scan over open bins per item. Kept for differential tests and
+// the indexed-vs-naive benchmarks.
+func FirstFitLinear(items []Item, capacity int64) ([]*Bin, error) {
 	if err := validate(items, capacity); err != nil {
 		return nil, err
 	}
@@ -91,9 +192,7 @@ func FirstFit(items []Item, capacity int64) ([]*Bin, error) {
 // items keep their relative order) before running FirstFit. It packs tighter
 // but, as the paper notes, concentrates large files in the early bins.
 func FirstFitDecreasing(items []Item, capacity int64) ([]*Bin, error) {
-	sorted := append([]Item(nil), items...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Size > sorted[j].Size })
-	return FirstFit(sorted, capacity)
+	return FirstFit(sortedBySizeDesc(items), capacity)
 }
 
 // SubsetSumFirstFit packs items using the subset-sum first-fit heuristic the
@@ -102,11 +201,70 @@ func FirstFitDecreasing(items []Item, capacity int64) ([]*Bin, error) {
 // (scan remaining items in decreasing size order, take everything that still
 // fits). The greedy scan guarantees each closed bin is at least half full
 // whenever enough data remains.
+//
+// Because sizes are non-increasing along the scan order, "take everything
+// that fits" is equivalent to repeatedly taking the first remaining item
+// whose size is at most the bin's residual capacity — found here by binary
+// search plus a next-unused skip pointer, O(log n) per placement instead of
+// the O(n)-per-bin rescan of the reference SubsetSumFirstFitLinear. The
+// output is identical bin-for-bin.
 func SubsetSumFirstFit(items []Item, capacity int64) ([]*Bin, error) {
 	if err := validate(items, capacity); err != nil {
 		return nil, err
 	}
-	// Indices sorted by decreasing size; used holds consumed items.
+	n := len(items)
+	order := sizeOrder(items)
+	next := newNextUnused(n)
+	binAt := make([]int32, n) // bin index per scan position
+	var metas []binMeta
+
+	// Oversized items lead the decreasing-size order; the linear scan emits
+	// each as its own bin the moment it is encountered, i.e. all of them
+	// first, before any regular bin.
+	pos := 0
+	for pos < n && order[pos].size > capacity {
+		metas = append(metas, binMeta{used: order[pos].size, count: 1, oversized: true})
+		binAt[pos] = int32(len(metas) - 1)
+		next.consume(pos)
+		pos++
+	}
+	remaining := n - pos
+	for remaining > 0 {
+		var m binMeta
+		bi := int32(len(metas))
+		free := capacity
+		for {
+			// First scan position whose item fits (sizes are non-increasing
+			// along the order, so binary search applies); the next unused
+			// position at or after it is the item the linear scan would take.
+			p := next.find(order.searchFit(free))
+			if p >= n {
+				break
+			}
+			m.used += order[p].size
+			m.count++
+			free = capacity - m.used
+			binAt[p] = bi
+			next.consume(p)
+			remaining--
+		}
+		if m.count == 0 {
+			break // unreachable: every remaining item fits an empty bin
+		}
+		metas = append(metas, m)
+	}
+	// Within a bin, items appear in scan order (decreasing size), exactly as
+	// the linear reference appends them.
+	return buildBins(metas, capacity, n, binAt, func(p int) Item { return items[order[p].idx] }), nil
+}
+
+// SubsetSumFirstFitLinear is the O(n·bins) reference implementation of
+// SubsetSumFirstFit — a full rescan of the remaining items per bin. Kept
+// for differential tests and the indexed-vs-naive benchmarks.
+func SubsetSumFirstFitLinear(items []Item, capacity int64) ([]*Bin, error) {
+	if err := validate(items, capacity); err != nil {
+		return nil, err
+	}
 	order := make([]int, len(items))
 	for i := range order {
 		order[i] = i
@@ -200,9 +358,7 @@ func LeastLoaded(items []Item, n int) ([]*Bin, error) {
 // LeastLoadedDecreasing sorts items by decreasing size before LeastLoaded
 // (the classic LPT balancing rule, tighter max-bin bounds).
 func LeastLoadedDecreasing(items []Item, n int) ([]*Bin, error) {
-	sorted := append([]Item(nil), items...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Size > sorted[j].Size })
-	return LeastLoaded(sorted, n)
+	return LeastLoaded(sortedBySizeDesc(items), n)
 }
 
 // Stats summarises the quality of a packing.

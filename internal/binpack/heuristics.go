@@ -1,7 +1,5 @@
 package binpack
 
-import "sort"
-
 // Additional classical heuristics, used by the ablation benchmarks to
 // situate the paper's choices: NextFit (the cheapest possible packer),
 // BestFit (tightest per-item placement) and BestFitDecreasing.
@@ -67,7 +65,5 @@ func BestFit(items []Item, capacity int64) ([]*Bin, error) {
 
 // BestFitDecreasing sorts items by decreasing size (stable) before BestFit.
 func BestFitDecreasing(items []Item, capacity int64) ([]*Bin, error) {
-	sorted := append([]Item(nil), items...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Size > sorted[j].Size })
-	return BestFit(sorted, capacity)
+	return BestFit(sortedBySizeDesc(items), capacity)
 }

@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/vfs"
 )
@@ -147,6 +148,49 @@ func GenerateWithContent(spec Spec, seed int64) (*vfs.FS, error) {
 			return g.Text(sz)
 		}
 		f := vfs.NewContentFile(name, size, lazyBytes(open))
+		if err := fs.Add(f); err != nil {
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+// GenerateWithContentEager is GenerateWithContent with the file bytes
+// materialised up front, in parallel (workers <= 0 means all CPUs). Sizes
+// are still sampled from the single sequential corpus RNG stream — that
+// order is part of the corpus identity — but each file's content generator
+// is seeded independently from (seed, name) via stats.SeedFor, so the
+// per-file byte generation fans out across the pool and the resulting
+// corpus is byte-identical to the lazy form at any worker count. Intended
+// for benchmark and experiment corpora that will be read many times:
+// repeated opens become memory reads instead of regeneration.
+func GenerateWithContentEager(spec Spec, seed int64, workers int) (*vfs.FS, error) {
+	names := make([]string, spec.NumFiles)
+	sizes := make([]int64, spec.NumFiles)
+	r := stats.NewRand(seed, "corpus-sizes-"+spec.Name)
+	for i := 0; i < spec.NumFiles; i++ {
+		names[i] = fileName(spec, i)
+		sizes[i] = spec.Sizes.Sample(r)
+	}
+	contents := make([][]byte, spec.NumFiles)
+	err := par.New(workers).ForEach(spec.NumFiles, func(i int) error {
+		g := NewGenerator(spec.Style, stats.SeedFor(seed, "content-"+names[i]))
+		if spec.HTML {
+			contents[i] = g.HTML(int(sizes[i]))
+		} else {
+			contents[i] = g.Text(int(sizes[i]))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fs := vfs.NewFS()
+	for i := range names {
+		f := vfs.BytesFile(names[i], contents[i])
+		if f.Size != sizes[i] {
+			return nil, fmt.Errorf("corpus: %s generated %d bytes, want %d", names[i], f.Size, sizes[i])
+		}
 		if err := fs.Add(f); err != nil {
 			return nil, err
 		}

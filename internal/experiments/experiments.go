@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/par"
 )
 
 // Config parameterises an experiment run.
@@ -145,15 +147,32 @@ func Lookup(id string) (Driver, bool) {
 	return nil, false
 }
 
-// RunAll executes every experiment and returns the reports in order.
+// RunAll executes every experiment concurrently and returns the reports in
+// registry order. Drivers are independent by construction — each builds its
+// own seeded cloud and corpus from cfg, sharing only read-only state — so
+// the reports are identical to a serial run at any worker count. The error
+// contract also matches the serial loop: on failure, the reports for the
+// registry prefix before the first (by registry order) failing driver are
+// returned alongside its error.
 func RunAll(cfg Config) ([]*Report, error) {
+	return RunAllWorkers(cfg, 0)
+}
+
+// RunAllWorkers is RunAll with an explicit worker count (0 or negative
+// means GOMAXPROCS); workers=1 is the serial reference.
+func RunAllWorkers(cfg Config, workers int) ([]*Report, error) {
+	reps := make([]*Report, len(Registry))
+	errs := make([]error, len(Registry))
+	par.New(workers).ForEach(len(Registry), func(i int) error {
+		reps[i], errs[i] = Registry[i].Driver(cfg)
+		return nil
+	})
 	reports := make([]*Report, 0, len(Registry))
-	for _, e := range Registry {
-		rep, err := e.Driver(cfg)
-		if err != nil {
-			return reports, fmt.Errorf("experiments: %s: %w", e.ID, err)
+	for i, e := range Registry {
+		if errs[i] != nil {
+			return reports, fmt.Errorf("experiments: %s: %w", e.ID, errs[i])
 		}
-		reports = append(reports, rep)
+		reports = append(reports, reps[i])
 	}
 	return reports, nil
 }

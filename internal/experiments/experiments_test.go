@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -304,6 +305,21 @@ func TestRunAllProducesEveryReport(t *testing.T) {
 	for i, rep := range reports {
 		if rep.ID != Registry[i].ID {
 			t.Errorf("report %d = %s, want %s", i, rep.ID, Registry[i].ID)
+		}
+	}
+	// The concurrent sweep must be indistinguishable from the serial one:
+	// every driver builds its own seeded world, so the reports — tables,
+	// notes and scalar values alike — are bit-identical at any worker count.
+	serial, err := RunAllWorkers(Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(reports) {
+		t.Fatalf("serial reports = %d, parallel %d", len(serial), len(reports))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], reports[i]) {
+			t.Errorf("report %s differs between serial and parallel runs", serial[i].ID)
 		}
 	}
 }

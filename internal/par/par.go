@@ -1,0 +1,152 @@
+// Package par is the repository's single bounded, deterministic
+// parallel-execution primitive. Every concurrent fan-out in the tree —
+// corpus materialisation, checksum manifests, the grep/POS kernels, the
+// workload estimator and the experiment drivers — runs on this pool, so
+// there is exactly one concurrency idiom to reason about.
+//
+// Determinism contract: a fan-out over n tasks produces bit-identical
+// results at any worker count, including 1, because
+//
+//   - each task writes only to its own pre-allocated slot (ForEach/Map),
+//   - errors are reported by lowest task index, not completion order,
+//   - reductions (SumChunks) combine integer partials in fixed chunk
+//     order, and integer addition is associative, and
+//   - tasks that need randomness derive a private seed from their index
+//     (see stats.SeedFor) instead of sharing a sequential stream.
+//
+// Panics inside a task propagate and crash the process, as they would in
+// a serial loop.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool. The zero value is not useful; construct
+// with New. Pools are cheap (two words) and carry no goroutines between
+// calls: workers are spawned per fan-out and torn down when it returns,
+// so an idle Pool costs nothing.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most `workers` tasks concurrently.
+// Zero or negative means runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Default returns a pool sized to the machine (GOMAXPROCS at call time).
+func Default() *Pool { return New(0) }
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach runs fn(i) for every i in [0, n), using up to Workers()
+// goroutines. fn is invoked exactly once per index regardless of errors;
+// the returned error is the one from the lowest failing index, so the
+// outcome does not depend on scheduling. fn must confine its writes to
+// per-index state (or otherwise synchronise).
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) on the pool and returns the results in index
+// order. On error the first (lowest-index) error is returned and the
+// results are discarded.
+func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SumChunks splits [0, n) into one contiguous range per worker, computes
+// chunk(lo, hi) for each range concurrently, and returns the sum of the
+// partials in range order. Because the partials are integers, the result
+// is bit-identical to a serial accumulation at any worker count. The
+// returned error is the one from the lowest-index failing range.
+func (p *Pool) SumChunks(n int, chunk func(lo, hi int) (int64, error)) (int64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		return chunk(0, n)
+	}
+	step := (n + w - 1) / w
+	ranges := make([][2]int, 0, w)
+	for lo := 0; lo < n; lo += step {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		ranges = append(ranges, [2]int{lo, hi})
+	}
+	partials, err := Map(p, len(ranges), func(i int) (int64, error) {
+		return chunk(ranges[i][0], ranges[i][1])
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, v := range partials {
+		total += v
+	}
+	return total, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"regexp"
+	"sync"
 
 	"repro/internal/vfs"
 )
@@ -120,6 +121,18 @@ func matchAt(hay, pat []byte) bool {
 // than len(pattern)-1 bytes across reads, so that carry suffices.
 const grepBufSize = 64 * 1024
 
+// windowPool recycles streaming windows across CountReader calls (and
+// across the concurrent workers of ParallelGrep): a grep over a million
+// small files would otherwise allocate a fresh 64 kB window per file. The
+// pooled size covers the regexp carry; rare oversize literal patterns fall
+// back to a dedicated allocation.
+var windowPool = sync.Pool{
+	New: func() any {
+		buf := make([]byte, grepBufSize+4096)
+		return &buf
+	},
+}
+
 // CountReader streams r and returns the number of matches, never holding
 // more than one window in memory. For the regexp engine a match must fit in
 // one window (64 KiB), matching GNU grep's line-oriented behaviour for sane
@@ -131,7 +144,14 @@ func (s *Searcher) CountReader(r io.Reader) (int64, error) {
 	} else {
 		overlap = 4096 // generous regexp carry window
 	}
-	buf := make([]byte, grepBufSize+overlap)
+	bp := windowPool.Get().(*[]byte)
+	defer windowPool.Put(bp)
+	var buf []byte
+	if need := grepBufSize + overlap; need <= cap(*bp) {
+		buf = (*bp)[:need]
+	} else {
+		buf = make([]byte, need)
+	}
 	carry := 0
 	var total int64
 	var prevWindowMatches int64

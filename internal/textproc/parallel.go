@@ -2,65 +2,46 @@ package textproc
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/lexicon"
+	"repro/internal/par"
 	"repro/internal/vfs"
 )
 
-// Parallel kernels: the real search engine and tagger fanned out over a
-// worker pool, the in-process analogue of the paper's fleet of instances.
-// Results are deterministic — identical to the serial kernels and
-// independent of worker scheduling — because each file's result is written
-// to its own slot and aggregated in input order.
+// Parallel kernels: the real search engine and tagger fanned out over the
+// shared par worker pool, the in-process analogue of the paper's fleet of
+// instances. Results are deterministic — identical to the serial kernels
+// and independent of worker scheduling — because each file's result is
+// written to its own slot and aggregated in input order, with errors
+// reported for the lowest failing index (the par.Pool contract).
 
 // ParallelGrep searches the files with `workers` goroutines (0 or negative
 // means GOMAXPROCS) and returns exactly what the serial GrepFiles returns.
 func (s *Searcher) ParallelGrep(files []vfs.File, workers int) (*GrepResult, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(files) {
-		workers = len(files)
-	}
-	if workers <= 1 {
+	pool := par.New(workers)
+	if pool.Workers() <= 1 {
 		return s.GrepFiles(files)
 	}
 	results := make([]FileResult, len(files))
-	errs := make([]error, len(files))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f := files[i]
-				r, err := f.Open()
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				matches, err := s.CountReader(r)
-				if err != nil {
-					errs[i] = fmt.Errorf("textproc: grep %s: %w", f.Name, err)
-					continue
-				}
-				results[i] = FileResult{Name: f.Name, Bytes: f.Size, Matches: matches}
-			}
-		}()
-	}
-	for i := range files {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	res := &GrepResult{Files: results}
-	for i := range files {
-		if errs[i] != nil {
-			return nil, errs[i]
+	err := pool.ForEach(len(files), func(i int) error {
+		f := files[i]
+		r, err := f.Open()
+		if err != nil {
+			return err
 		}
+		matches, err := s.CountReader(r)
+		if err != nil {
+			return fmt.Errorf("textproc: grep %s: %w", f.Name, err)
+		}
+		results[i] = FileResult{Name: f.Name, Bytes: f.Size, Matches: matches}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &GrepResult{Files: results}
+	for i := range results {
 		res.Bytes += results[i].Bytes
 		res.Matches += results[i].Matches
 	}
@@ -72,49 +53,39 @@ func (s *Searcher) ParallelGrepFS(fs *vfs.FS, workers int) (*GrepResult, error) 
 	return s.ParallelGrep(fs.List(), workers)
 }
 
+// readBufPool recycles the file-materialisation buffers used by the
+// parallel tagger, so tagging a corpus reuses a handful of buffers instead
+// of allocating one per file.
+var readBufPool sync.Pool
+
 // ParallelTagFiles tags the files with `workers` goroutines sharing one
 // model instance (the Tagger is read-only after construction) and returns
 // the same merged result as the serial TagFiles.
 func (t *Tagger) ParallelTagFiles(files []vfs.File, workers int) (*POSResult, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(files) {
-		workers = len(files)
-	}
-	if workers <= 1 {
+	pool := par.New(workers)
+	if pool.Workers() <= 1 {
 		return t.TagFiles(files)
 	}
 	partials := make([]*POSResult, len(files))
-	errs := make([]error, len(files))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				data, err := files[i].ReadAll()
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				_, res := t.TagText(data)
-				partials[i] = res
-			}
-		}()
-	}
-	for i := range files {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	total := &POSResult{TagCounts: make(map[lexicon.Tag]int)}
-	for i := range files {
-		if errs[i] != nil {
-			return nil, errs[i]
+	err := pool.ForEach(len(files), func(i int) error {
+		var buf []byte
+		if b, ok := readBufPool.Get().(*[]byte); ok {
+			buf = *b
 		}
-		p := partials[i]
+		data, err := files[i].ReadInto(buf)
+		if err != nil {
+			return err
+		}
+		_, res := t.TagText(data)
+		readBufPool.Put(&data)
+		partials[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := &POSResult{TagCounts: make(map[lexicon.Tag]int)}
+	for _, p := range partials {
 		total.Sentences += p.Sentences
 		total.Tokens += p.Tokens
 		total.Words += p.Words

@@ -3,6 +3,7 @@ package textproc
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/lexicon"
 	"repro/internal/vfs"
@@ -89,11 +90,22 @@ func NewTagger() *Tagger {
 // first and the suffix guesser for out-of-vocabulary words. The second
 // return reports whether the word was found in the lexicon.
 func (t *Tagger) candidates(word string) ([]lexicon.Tag, bool) {
-	lower := strings.ToLower(word)
-	if tags, ok := t.lex[lower]; ok {
+	if tags, ok := t.lex[lowerWord(word)]; ok {
 		return tags, true
 	}
 	return []lexicon.Tag{GuessTag(word)}, false
+}
+
+// lowerWord lowercases a word for lexicon lookup, returning the input
+// unchanged (no allocation) when it is already free of ASCII uppercase —
+// the overwhelmingly common case in running text.
+func lowerWord(word string) string {
+	for i := 0; i < len(word); i++ {
+		if c := word[i]; c >= 'A' && c <= 'Z' {
+			return strings.ToLower(word)
+		}
+	}
+	return word
 }
 
 // GuessTag assigns a tag to an out-of-vocabulary word from surface clues:
@@ -105,11 +117,11 @@ func GuessTag(word string) lexicon.Tag {
 	if isNumeric(word) {
 		return lexicon.Number
 	}
-	r := []rune(word)
-	if unicode.IsUpper(r[0]) {
+	first, _ := utf8.DecodeRuneInString(word)
+	if unicode.IsUpper(first) {
 		return lexicon.ProperN
 	}
-	lower := strings.ToLower(word)
+	lower := lowerWord(word)
 	switch {
 	case strings.HasSuffix(lower, "ing"):
 		return lexicon.VerbGer
@@ -143,31 +155,59 @@ func isNumeric(word string) bool {
 // takes the candidate tag maximising lexical preference (candidate order)
 // plus the transition score from the previous tag.
 func (t *Tagger) TagSentence(sentence []Token) []TaggedToken {
-	out := make([]TaggedToken, 0, len(sentence))
+	out := make([]TaggedToken, len(sentence))
+	t.tagInto(out, sentence, nil)
+	return out
+}
+
+// tagInto tags one sentence into dst (len(dst) == len(sentence)), and, when
+// res is non-nil, folds the per-token accounting into it in the same pass —
+// one lexicon lookup per word serves both the tag decision and the
+// known/unknown bookkeeping, where TagText used to look each word up twice.
+func (t *Tagger) tagInto(dst []TaggedToken, sentence []Token, res *POSResult) {
 	prev := lexicon.Tag("START")
-	for _, tok := range sentence {
+	for k, tok := range sentence {
 		if tok.Punct {
-			out = append(out, TaggedToken{Token: tok, Tag: lexicon.Punct})
+			dst[k] = TaggedToken{Token: tok, Tag: lexicon.Punct}
+			if res != nil {
+				res.Tokens++
+				res.TagCounts[lexicon.Punct]++
+			}
 			continue
 		}
-		cands, _ := t.candidates(tok.Text)
-		best := cands[0]
-		bestScore := -1e9
-		for rank, cand := range cands {
-			// Lexical preference decays with rank; transitions add context.
-			score := -0.5 * float64(rank)
-			if m, ok := t.trans[prev]; ok {
-				score += m[cand]
-			}
-			if score > bestScore {
-				bestScore = score
-				best = cand
+		var best lexicon.Tag
+		cands, known := t.lex[lowerWord(tok.Text)]
+		if !known {
+			// A single guessed candidate always wins the scoring below;
+			// skip straight to it without materialising a slice.
+			best = GuessTag(tok.Text)
+		} else {
+			best = cands[0]
+			bestScore := -1e9
+			for rank, cand := range cands {
+				// Lexical preference decays with rank; transitions add
+				// context.
+				score := -0.5 * float64(rank)
+				if m, ok := t.trans[prev]; ok {
+					score += m[cand]
+				}
+				if score > bestScore {
+					bestScore = score
+					best = cand
+				}
 			}
 		}
-		out = append(out, TaggedToken{Token: tok, Tag: best})
+		dst[k] = TaggedToken{Token: tok, Tag: best}
 		prev = best
+		if res != nil {
+			res.Tokens++
+			res.Words++
+			res.TagCounts[best]++
+			if !known {
+				res.Unknown++
+			}
+		}
 	}
-	return out
 }
 
 // POSResult aggregates a tagging run.
@@ -179,26 +219,23 @@ type POSResult struct {
 	TagCounts map[lexicon.Tag]int
 }
 
-// TagText tokenises, splits and tags a whole document.
+// TagText tokenises, splits and tags a whole document. The sentences
+// partition the token stream exactly, so all tagged tokens live in one flat
+// slab sized len(tokens), with each sentence's slice a window into it — two
+// allocations for the whole document instead of one per sentence.
 func (t *Tagger) TagText(text []byte) ([][]TaggedToken, *POSResult) {
 	tokens := Tokenize(text)
 	sentences := SplitSentences(tokens)
 	res := &POSResult{TagCounts: make(map[lexicon.Tag]int)}
-	tagged := make([][]TaggedToken, 0, len(sentences))
-	for _, s := range sentences {
-		ts := t.TagSentence(s)
-		tagged = append(tagged, ts)
+	slab := make([]TaggedToken, len(tokens))
+	tagged := make([][]TaggedToken, len(sentences))
+	off := 0
+	for si, s := range sentences {
+		dst := slab[off : off+len(s) : off+len(s)]
+		t.tagInto(dst, s, res)
+		tagged[si] = dst
+		off += len(s)
 		res.Sentences++
-		for _, tt := range ts {
-			res.Tokens++
-			res.TagCounts[tt.Tag]++
-			if !tt.Punct {
-				res.Words++
-				if _, known := t.candidates(tt.Text); !known {
-					res.Unknown++
-				}
-			}
-		}
 	}
 	return tagged, res
 }

@@ -7,6 +7,7 @@ package textproc
 
 import (
 	"unicode"
+	"unicode/utf8"
 )
 
 // Token is a word or punctuation unit with its byte offset in the source.
@@ -27,38 +28,74 @@ func isSentenceEnd(s string) bool {
 // corpus generator emits ASCII) but safe on arbitrary UTF-8: multi-byte
 // runes are treated as word characters when letters and punctuation
 // otherwise.
+//
+// Allocation discipline: the input is converted to a string once and every
+// token's Text is a substring of it, so a full tokenisation costs exactly
+// two allocations (the string copy and the exactly-sized token slice)
+// instead of one per token — the per-token string copies used to dominate
+// the POS pipeline's allocation profile.
 func Tokenize(text []byte) []Token {
-	var tokens []Token
+	s := string(text)
+	tokens := make([]Token, 0, countTokens(s))
 	i := 0
-	n := len(text)
+	n := len(s)
 	for i < n {
-		c := text[i]
+		c := s[i]
 		switch {
 		case c == ' ' || c == '\n' || c == '\t' || c == '\r':
 			i++
 		case isWordByte(c):
 			start := i
-			for i < n && isWordByte(text[i]) {
+			for i < n && isWordByte(s[i]) {
 				i++
 			}
-			tokens = append(tokens, Token{Text: string(text[start:i]), Start: start})
+			tokens = append(tokens, Token{Text: s[start:i], Start: start})
 		default:
 			// A single punctuation byte (or the lead byte of a multi-byte
 			// rune, consumed together with its continuation bytes).
 			start := i
 			i++
-			for i < n && text[i]&0xC0 == 0x80 {
+			for i < n && s[i]&0xC0 == 0x80 {
 				i++
 			}
-			r := []rune(string(text[start:i]))
+			chunk := s[start:i]
 			punct := true
-			if len(r) == 1 && (unicode.IsLetter(r[0]) || unicode.IsDigit(r[0])) {
+			if r, size := utf8.DecodeRuneInString(chunk); size == len(chunk) &&
+				(unicode.IsLetter(r) || unicode.IsDigit(r)) {
 				punct = false
 			}
-			tokens = append(tokens, Token{Text: string(text[start:i]), Start: start, Punct: punct})
+			tokens = append(tokens, Token{Text: chunk, Start: start, Punct: punct})
 		}
 	}
 	return tokens
+}
+
+// countTokens is the counting-only pass of Tokenize: same boundaries, no
+// classification, no allocation. Paying this cheap extra scan buys an
+// exactly-sized token slice (no append doubling, no over-retention).
+func countTokens(s string) int {
+	count := 0
+	i := 0
+	n := len(s)
+	for i < n {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\n' || c == '\t' || c == '\r':
+			i++
+		case isWordByte(c):
+			for i < n && isWordByte(s[i]) {
+				i++
+			}
+			count++
+		default:
+			i++
+			for i < n && s[i]&0xC0 == 0x80 {
+				i++
+			}
+			count++
+		}
+	}
+	return count
 }
 
 func isWordByte(c byte) bool {

@@ -1,0 +1,92 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// tokenizeReference is the pre-optimisation tokenizer — one string copy per
+// token, append-grown slice — kept as the behavioural reference and the
+// allocation baseline for BenchmarkTokenizeReference.
+func tokenizeReference(text []byte) []Token {
+	var tokens []Token
+	i := 0
+	n := len(text)
+	for i < n {
+		c := text[i]
+		switch {
+		case c == ' ' || c == '\n' || c == '\t' || c == '\r':
+			i++
+		case isWordByte(c):
+			start := i
+			for i < n && isWordByte(text[i]) {
+				i++
+			}
+			tokens = append(tokens, Token{Text: string(text[start:i]), Start: start})
+		default:
+			start := i
+			i++
+			for i < n && text[i]&0xC0 == 0x80 {
+				i++
+			}
+			r := []rune(string(text[start:i]))
+			punct := true
+			if len(r) == 1 && (unicode.IsLetter(r[0]) || unicode.IsDigit(r[0])) {
+				punct = false
+			}
+			tokens = append(tokens, Token{Text: string(text[start:i]), Start: start, Punct: punct})
+		}
+	}
+	return tokens
+}
+
+func TestTokenizeMatchesReference(t *testing.T) {
+	cases := []string{
+		"",
+		"plain words only",
+		"It's a test, isn't it? Yes! No...",
+		"tabs\tand\nnewlines\r\nmixed  spaces",
+		"digits 123 mixed42 '' ' lone",
+		"unicode: café über €100 —dash— 世界",
+		"\x80 stray continuation \xff invalid",
+		strings.Repeat("The quick brown fox, jumps! Over 9 lazy dogs? ", 50),
+	}
+	for _, s := range cases {
+		got := Tokenize([]byte(s))
+		want := tokenizeReference([]byte(s))
+		if len(got) != len(want) {
+			t.Fatalf("%q: %d tokens != reference %d", s, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%q token %d: %+v != reference %+v", s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func benchText(n int) []byte {
+	s := strings.Repeat("The planner merges small files, into larger units! Costs drop 5x. ", n/66+1)
+	return []byte(s[:n])
+}
+
+func BenchmarkTokenizeOptimized(b *testing.B) {
+	text := benchText(100_000)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Tokenize(text)
+	}
+}
+
+func BenchmarkTokenizeReference(b *testing.B) {
+	text := benchText(100_000)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tokenizeReference(text)
+	}
+}

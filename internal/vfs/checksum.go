@@ -5,6 +5,9 @@ import (
 	"hash/fnv"
 	"io"
 	"sort"
+	"sync"
+
+	"repro/internal/par"
 )
 
 // Content integrity: reshaping must never corrupt data, and exported unit
@@ -12,17 +15,39 @@ import (
 // FNV-64a — not cryptographic, but collision-safe enough for manifest
 // verification and fully deterministic.
 
+// copyBufPool recycles the streaming windows used by Checksum and
+// CombinedChecksum; without it every io.Copy allocated a fresh 32 kB buffer,
+// which at manifest scale (one per file) dominated the allocation profile.
+var copyBufPool = sync.Pool{
+	New: func() any {
+		buf := make([]byte, 64*1024)
+		return &buf
+	},
+}
+
+// hashReader streams r through FNV-64a using a pooled window buffer.
+func hashReader(r io.Reader) (uint64, error) {
+	h := fnv.New64a()
+	bp := copyBufPool.Get().(*[]byte)
+	_, err := io.CopyBuffer(h, r, *bp)
+	copyBufPool.Put(bp)
+	if err != nil {
+		return 0, err
+	}
+	return h.Sum64(), nil
+}
+
 // Checksum streams a file's content through FNV-64a.
 func Checksum(f File) (uint64, error) {
 	r, err := f.Open()
 	if err != nil {
 		return 0, err
 	}
-	h := fnv.New64a()
-	if _, err := io.Copy(h, r); err != nil {
+	sum, err := hashReader(r)
+	if err != nil {
 		return 0, fmt.Errorf("vfs: checksum %q: %w", f.Name, err)
 	}
-	return h.Sum64(), nil
+	return sum, nil
 }
 
 // Manifest maps file names to (size, checksum).
@@ -34,15 +59,33 @@ type ManifestEntry struct {
 	Checksum uint64
 }
 
-// BuildManifest checksums every content-backed file of the file system.
+// BuildManifest checksums every content-backed file of the file system,
+// fanning the per-file FNV streams out over all CPUs. Each file's checksum
+// depends only on its own bytes, so the manifest is identical at any worker
+// count; errors surface in List order like the serial loop's.
 func BuildManifest(fs *FS) (Manifest, error) {
-	m := make(Manifest, fs.Len())
-	for _, f := range fs.List() {
-		sum, err := Checksum(f)
+	return BuildManifestWorkers(fs, 0)
+}
+
+// BuildManifestWorkers is BuildManifest with an explicit worker count
+// (0 or negative means GOMAXPROCS); workers=1 is the serial reference.
+func BuildManifestWorkers(fs *FS, workers int) (Manifest, error) {
+	files := fs.List()
+	sums := make([]uint64, len(files))
+	err := par.New(workers).ForEach(len(files), func(i int) error {
+		sum, err := Checksum(files[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m[f.Name] = ManifestEntry{Size: f.Size, Checksum: sum}
+		sums[i] = sum
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := make(Manifest, len(files))
+	for i, f := range files {
+		m[f.Name] = ManifestEntry{Size: f.Size, Checksum: sums[i]}
 	}
 	return m, nil
 }
@@ -85,15 +128,64 @@ func (m Manifest) Verify(fs *FS) error {
 // the same order (regardless of file boundaries) produce the same value,
 // which is exactly the reshaping invariant: merging files moves boundaries
 // but never bytes.
+//
+// The hash itself is inherently sequential (each byte folds into the
+// running state), but content materialisation is not: a window of upcoming
+// files is read ahead concurrently while earlier bytes are folded in List
+// order, so the expensive part — regenerating file bytes — overlaps. The
+// resulting value is bit-identical to the fully serial fold.
 func CombinedChecksum(fs *FS) (uint64, error) {
+	// Files above the prefetch cap are streamed at fold time instead of
+	// being materialised, bounding read-ahead memory at window × cap.
+	const maxPrefetch = 4 << 20
+	files := fs.List()
 	h := fnv.New64a()
-	for _, f := range fs.List() {
-		r, err := f.Open()
+	pool := par.Default()
+	window := pool.Workers() * 2
+	if window < 2 {
+		window = 2
+	}
+	bufs := make([][]byte, len(files))
+	for lo := 0; lo < len(files); lo += window {
+		hi := lo + window
+		if hi > len(files) {
+			hi = len(files)
+		}
+		err := pool.ForEach(hi-lo, func(k int) error {
+			i := lo + k
+			if files[i].Size > maxPrefetch {
+				return nil
+			}
+			data, err := files[i].ReadInto(bufs[i])
+			if err != nil {
+				return fmt.Errorf("vfs: combined checksum at %q: %w", files[i].Name, err)
+			}
+			bufs[i] = data
+			return nil
+		})
 		if err != nil {
 			return 0, err
 		}
-		if _, err := io.Copy(h, r); err != nil {
-			return 0, fmt.Errorf("vfs: combined checksum at %q: %w", f.Name, err)
+		for i := lo; i < hi; i++ {
+			if files[i].Size > maxPrefetch || bufs[i] == nil {
+				r, err := files[i].Open()
+				if err != nil {
+					return 0, fmt.Errorf("vfs: combined checksum at %q: %w", files[i].Name, err)
+				}
+				bp := copyBufPool.Get().(*[]byte)
+				_, err = io.CopyBuffer(h, r, *bp)
+				copyBufPool.Put(bp)
+				if err != nil {
+					return 0, fmt.Errorf("vfs: combined checksum at %q: %w", files[i].Name, err)
+				}
+				continue
+			}
+			h.Write(bufs[i])
+			// Hand the backing array to a file one window ahead for reuse.
+			if j := i + window; j < len(files) {
+				bufs[j] = bufs[i][:0]
+			}
+			bufs[i] = nil
 		}
 	}
 	return h.Sum64(), nil

@@ -17,6 +17,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Opener produces a fresh reader over a file's content. Implementations
@@ -83,20 +85,42 @@ func (f File) Open() (io.Reader, error) {
 }
 
 // ReadAll materialises the full content of the file and validates that its
-// length matches the declared size.
+// length matches the declared size. The size is known up front, so the
+// buffer is allocated once at exactly that size and filled with ReadFull —
+// no io.ReadAll growth-and-copy doubling, which matters when concatenated
+// unit files run to hundreds of megabytes.
 func (f File) ReadAll() ([]byte, error) {
+	return f.ReadInto(nil)
+}
+
+// ReadInto is ReadAll with buffer reuse: when cap(buf) >= f.Size the content
+// is read into buf's backing array and no allocation happens. The returned
+// slice always has length f.Size and is only valid until the buffer's next
+// reuse. Pass nil to allocate fresh.
+func (f File) ReadInto(buf []byte) ([]byte, error) {
 	r, err := f.Open()
 	if err != nil {
 		return nil, err
 	}
-	data, err := io.ReadAll(r)
+	if int64(cap(buf)) >= f.Size {
+		buf = buf[:f.Size]
+	} else {
+		buf = make([]byte, f.Size)
+	}
+	n, err := io.ReadFull(r, buf)
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		return nil, fmt.Errorf("vfs: file %q declared %d bytes but content has %d", f.Name, f.Size, n)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("vfs: reading %q: %w", f.Name, err)
 	}
-	if int64(len(data)) != f.Size {
-		return nil, fmt.Errorf("vfs: file %q declared %d bytes but content has %d", f.Name, f.Size, len(data))
+	// The source must be exhausted: extra bytes are as corrupt as missing
+	// ones.
+	var probe [1]byte
+	if m, _ := r.Read(probe[:]); m > 0 {
+		return nil, fmt.Errorf("vfs: file %q declared %d bytes but content has %d", f.Name, f.Size, n+m)
 	}
-	return data, nil
+	return buf, nil
 }
 
 // Concat builds a single merged file whose content is the concatenation of
@@ -145,6 +169,19 @@ type FS struct {
 	order []string // insertion order; List sorts lazily
 	dirty bool     // order needs re-sorting before deterministic listing
 	total int64
+
+	// Sorted snapshots, built on first List/Sizes call and served until the
+	// next mutation. Pack/plan/probe layers call List and Sizes in tight
+	// loops over an immutable corpus; rebuilding an n-entry slice per call
+	// was pure allocation churn.
+	listCache  []File
+	sizesCache []int64
+}
+
+// invalidate drops the cached listings after a mutation.
+func (fs *FS) invalidate() {
+	fs.listCache = nil
+	fs.sizesCache = nil
 }
 
 // NewFS returns an empty file system.
@@ -167,6 +204,7 @@ func (fs *FS) Add(f File) error {
 	fs.order = append(fs.order, f.Name)
 	fs.dirty = true
 	fs.total += f.Size
+	fs.invalidate()
 	return nil
 }
 
@@ -184,6 +222,7 @@ func (fs *FS) Remove(name string) error {
 			break
 		}
 	}
+	fs.invalidate()
 	return nil
 }
 
@@ -202,8 +241,13 @@ func (fs *FS) Len() int { return len(fs.files) }
 // TotalSize returns the summed size of all files.
 func (fs *FS) TotalSize() int64 { return fs.total }
 
-// List returns all files sorted by name, for deterministic iteration.
+// List returns all files sorted by name, for deterministic iteration. The
+// returned slice is a cached snapshot shared between calls; callers must
+// not modify it.
 func (fs *FS) List() []File {
+	if fs.listCache != nil {
+		return fs.listCache
+	}
 	if fs.dirty {
 		sort.Strings(fs.order)
 		fs.dirty = false
@@ -212,24 +256,35 @@ func (fs *FS) List() []File {
 	for _, name := range fs.order {
 		out = append(out, fs.files[name])
 	}
+	fs.listCache = out
 	return out
 }
 
-// Sizes returns the sizes of all files in List order.
+// Sizes returns the sizes of all files in List order. Like List, the slice
+// is cached until the next mutation and must not be modified.
 func (fs *FS) Sizes() []int64 {
+	if fs.sizesCache != nil {
+		return fs.sizesCache
+	}
 	files := fs.List()
 	sizes := make([]int64, len(files))
 	for i, f := range files {
 		sizes[i] = f.Size
 	}
+	fs.sizesCache = sizes
 	return sizes
 }
 
 // Export writes every content-backed file under dir on the real file
 // system, creating parent directories as needed. Metadata-only files cause
-// an error: exporting would silently lose data otherwise.
+// an error: exporting would silently lose data otherwise. Files are
+// materialised and written concurrently (content sources are independent by
+// the Opener contract); on failure the reported error is the one from the
+// first file in List order, matching the serial behaviour.
 func (fs *FS) Export(dir string) error {
-	for _, f := range fs.List() {
+	files := fs.List()
+	return par.Default().ForEach(len(files), func(i int) error {
+		f := files[i]
 		data, err := f.ReadAll()
 		if err != nil {
 			return err
@@ -241,8 +296,8 @@ func (fs *FS) Export(dir string) error {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			return fmt.Errorf("vfs: export: %w", err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // ImportDir loads every regular file under dir on the real file system into

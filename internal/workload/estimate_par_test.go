@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestEstimateChunkedSumMatchesSerial pins Estimate's determinism across
+// the serial and fanned-out item-sum paths: two identically-seeded
+// instances, one estimated under GOMAXPROCS=1 (forcing the serial chunk)
+// and one at full width, must produce the exact same Duration — including
+// the RNG draw order around the sum (S3 bandwidth jitter, setup noise,
+// work noise).
+func TestEstimateChunkedSumMatchesSerial(t *testing.T) {
+	items := make([]Item, 5000) // above parThreshold
+	for i := range items {
+		items[i] = NewItem(int64(500 + i%9000))
+	}
+	_, in1 := goodInstance(t, 77)
+	_, in2 := goodInstance(t, 77)
+	st := S3Storage{}
+	prev := runtime.GOMAXPROCS(1)
+	serial, err := Estimate(in1, NewPOS(), items, st, "d")
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Estimate(in2, NewPOS(), items, st, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Errorf("parallel estimate %v != serial %v", parallel, serial)
+	}
+}
+
+func TestEstimateNegativeSizeInChunkedPath(t *testing.T) {
+	items := make([]Item, 5000)
+	for i := range items {
+		items[i] = NewItem(100)
+	}
+	items[4321].Size = -1
+	_, in := goodInstance(t, 78)
+	if _, err := Estimate(in, NewGrep(), items, nil, "d"); err == nil {
+		t.Error("expected negative-size error from chunked path")
+	}
+}

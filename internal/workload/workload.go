@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/cloudsim"
+	"repro/internal/par"
 	"repro/internal/textproc"
 )
 
@@ -110,7 +111,8 @@ type App interface {
 	// PerFile is the fixed per-unit-file overhead (open/close, dispatch).
 	PerFile(in *cloudsim.Instance) time.Duration
 	// Process is the size- and content-dependent cost of one unit file when
-	// reading at readMBps.
+	// reading at readMBps. Implementations must be pure (no shared mutable
+	// state, no RNG draws): Estimate evaluates items concurrently.
 	Process(it Item, readMBps float64, in *cloudsim.Instance) time.Duration
 }
 
@@ -333,6 +335,10 @@ func ComplexityOf(text []byte, tagger *textproc.Tagger) float64 {
 	return ComplexityFromStats(st, oov)
 }
 
+// parThreshold is the item count above which Estimate fans the per-item
+// cost sum out across CPUs; below it the pool overhead exceeds the win.
+const parThreshold = 2048
+
 // Estimate computes the duration an application run would take on the
 // instance without advancing any clock. The measurement includes the
 // instance's noise: processing time takes narrow multiplicative noise,
@@ -340,6 +346,12 @@ func ComplexityOf(text []byte, tagger *textproc.Tagger) float64 {
 // show the large relative stddev the paper reports for 1 MB probes
 // (Fig. 3). Each call consumes draws from the instance's noise stream, so
 // repeated estimates vary like repeated real measurements.
+//
+// The RNG draw order is part of the observable behaviour and is fixed:
+// storage bandwidth first (S3 draws jitter), then setup noise, then the
+// per-item cost sum — which consumes no randomness and whose Duration
+// (integer) partials are summed in chunk order, so fanning it out over the
+// pool is bit-identical to the serial loop — and finally the work noise.
 func Estimate(in *cloudsim.Instance, app App, items []Item, st Storage, datasetKey string) (time.Duration, error) {
 	if in.State() != cloudsim.Running {
 		return 0, fmt.Errorf("workload: instance %s is %s, not running", in.ID, in.State())
@@ -349,15 +361,25 @@ func Estimate(in *cloudsim.Instance, app App, items []Item, st Storage, datasetK
 	}
 	readMBps := st.ReadMBps(in, datasetKey)
 	setup := time.Duration(float64(app.Startup(in)) * in.SetupNoiseFactor())
-	var work time.Duration
 	perFile := app.PerFile(in)
-	for _, it := range items {
-		if it.Size < 0 {
-			return 0, fmt.Errorf("workload: negative item size %d", it.Size)
-		}
-		work += perFile + app.Process(it, readMBps, in)
+	pool := par.Default()
+	if len(items) < parThreshold {
+		pool = par.New(1)
 	}
-	work = time.Duration(float64(work) * in.NoiseFactor())
+	sum, err := pool.SumChunks(len(items), func(lo, hi int) (int64, error) {
+		var s time.Duration
+		for _, it := range items[lo:hi] {
+			if it.Size < 0 {
+				return 0, fmt.Errorf("workload: negative item size %d", it.Size)
+			}
+			s += perFile + app.Process(it, readMBps, in)
+		}
+		return int64(s), nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	work := time.Duration(float64(time.Duration(sum)) * in.NoiseFactor())
 	return setup + work, nil
 }
 

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-smoke clean
+.PHONY: all build test verify bench bench-smoke bench-pack clean
 
 all: build
 
@@ -15,6 +15,8 @@ test:
 	$(GO) test ./...
 
 # verify is the tier-1 gate: vet clean and the full suite race-clean.
+# The ./... wildcard covers every package, including internal/packstore's
+# shared-handle concurrency and recovery tests.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -29,6 +31,11 @@ bench:
 # measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# bench-pack measures just the packstore paths (write, verify, O(1) random
+# access) without rewriting BENCH.json.
+bench-pack:
+	$(GO) test -run '^$$' -bench Pack ./internal/packstore
 
 clean:
 	$(GO) clean ./...

@@ -1,7 +1,8 @@
 // Command bench runs the repository's acceptance benchmarks — the indexed
 // bin packers against their linear references, the zero-allocation
-// tokenizer, and the parallel corpus/checksum/grep fan-outs — via
-// testing.Benchmark and writes the results to BENCH.json. Regenerate with
+// tokenizer, the parallel corpus/checksum/grep fan-outs, and the packstore
+// write/read/verify/random-access paths — via testing.Benchmark and writes
+// the results to BENCH.json. Regenerate with
 //
 //	make bench   # or: go run ./cmd/bench -out BENCH.json
 //
@@ -13,11 +14,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/binpack"
 	"repro/internal/corpus"
+	"repro/internal/packstore"
 	"repro/internal/stats"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
@@ -67,6 +71,46 @@ func packBench(pack func([]binpack.Item, int64) ([]*binpack.Bin, error), items [
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := pack(items, 1_000_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// packAccessBench builds a pack of n 8 kB members and measures reading
+// the middle member once per iteration.
+func packAccessBench(baseDir string, n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		path := filepath.Join(baseDir, fmt.Sprintf("access-%d.pack", n))
+		if _, err := os.Stat(path); err != nil {
+			w, err := packstore.Create(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := make([]byte, 8192)
+			for i := range data {
+				data[i] = byte(i % 251)
+			}
+			for i := 0; i < n; i++ {
+				if err := w.AppendBytes(fmt.Sprintf("m-%06d", i), data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		p, err := packstore.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		m := p.Members()[p.Len()/2]
+		buf := make([]byte, m.Size)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := io.ReadFull(p.SectionReader(m), buf); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -131,6 +175,64 @@ func main() {
 		}
 	}))
 
+	// Packstore: durable pack shards for reshaped corpora. Write/import/
+	// verify throughput over the same 200-file corpus, plus the O(1)
+	// random-access acceptance pair: reading one fixed-size member from a
+	// 32x larger pack must not cost more.
+	packDir, err := os.MkdirTemp("", "bench-packstore")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(packDir)
+	add(run("PackExport200Files", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dir := filepath.Join(packDir, fmt.Sprintf("w%d", i))
+			if _, err := contentFS.ExportPack(dir, vfs.PackOptions{ShardSize: 8 << 20}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	shardDir := filepath.Join(packDir, "fixed")
+	if _, err := contentFS.ExportPack(shardDir, vfs.PackOptions{ShardSize: 8 << 20}); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	add(run("PackImportChecksum200Files", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fs, closer, err := vfs.ImportPack(shardDir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := vfs.CombinedChecksum(fs); err != nil {
+				b.Fatal(err)
+			}
+			closer.Close()
+		}
+	}))
+	add(run("PackVerify200Files", func(b *testing.B) {
+		paths, err := packstore.Discover(shardDir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		set, err := packstore.OpenSet(paths...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer set.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := set.Verify(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(run("PackRandomAccess1of64", packAccessBench(packDir, 64)))
+	add(run("PackRandomAccess1of2048", packAccessBench(packDir, 2048)))
+
 	byName := make(map[string]Result, len(o.Results))
 	for _, r := range o.Results {
 		byName[r.Name] = r
@@ -138,6 +240,9 @@ func main() {
 	o.Ratios = map[string]float64{
 		"firstfit_speedup_vs_linear":  byName["FirstFitLinear10k"].NsPerOp / byName["FirstFit10k"].NsPerOp,
 		"subsetsum_speedup_vs_linear": byName["SubsetSumFirstFitLinear10k"].NsPerOp / byName["SubsetSumFirstFit10k"].NsPerOp,
+		// ~1.0 demonstrates O(1) member access: one member's read cost is
+		// independent of how many members the pack holds.
+		"pack_random_access_2048_over_64": byName["PackRandomAccess1of2048"].NsPerOp / byName["PackRandomAccess1of64"].NsPerOp,
 	}
 
 	data, err := json.MarshalIndent(o, "", "  ")
@@ -150,6 +255,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear)\n",
-		*out, o.Ratios["firstfit_speedup_vs_linear"], o.Ratios["subsetsum_speedup_vs_linear"])
+	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear, pack access 2048/64 %.2fx)\n",
+		*out, o.Ratios["firstfit_speedup_vs_linear"], o.Ratios["subsetsum_speedup_vs_linear"],
+		o.Ratios["pack_random_access_2048_over_64"])
 }

@@ -8,6 +8,7 @@
 //
 //	pipeline -app pos -spec text -scale 0.002 -deadline 120
 //	pipeline -app grep -dir ./corpus -deadline 3600
+//	pipeline -app grep -packs ./packed -deadline 3600
 //	pipeline -app pos -spec text -scale 0.002 -deadline 120 -fit cv
 package main
 
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -28,6 +30,7 @@ func main() {
 		specName = flag.String("spec", "text", "synthetic corpus: html or text (ignored with -dir)")
 		scale    = flag.Float64("scale", 0.002, "synthetic corpus scale")
 		dir      = flag.String("dir", "", "use a real directory instead of a synthetic corpus")
+		packs    = flag.String("packs", "", "use a packed corpus: comma-separated pack files and/or directories of *.pack shards")
 		deadline = flag.Float64("deadline", 3600, "deadline in seconds")
 		seed     = flag.Int64("seed", 2011, "random seed")
 		fit      = flag.String("fit", "r2", "model selection: r2, cv or weighted")
@@ -60,7 +63,15 @@ func main() {
 
 	var fs *vfs.FS
 	var err error
-	if *dir != "" {
+	if *packs != "" {
+		// Packed corpora read through shared per-shard handles; keep them
+		// open for the run.
+		var closer interface{ Close() error }
+		fs, closer, err = vfs.ImportPack(strings.Split(*packs, ",")...)
+		if err == nil {
+			defer closer.Close()
+		}
+	} else if *dir != "" {
 		fs, err = vfs.ImportDir(*dir)
 	} else {
 		var spec corpus.Spec

@@ -3,10 +3,16 @@
 // the real-data counterpart of the simulator experiments: the output unit
 // files contain exactly the input bytes, concatenated.
 //
+// With -pack the unit files are written as checksummed pack shards
+// (internal/packstore) instead of one plain file per unit — the durable
+// staging artefact: a handful of file opens on re-import, per-member
+// checksums, O(1) random access to any unit.
+//
 // Usage:
 //
 //	reshape -in ./corpus -out ./units -unit 100000000   # 100 MB units
 //	reshape -in ./corpus -unit 1000000 -dry             # packing stats only
+//	reshape -in ./corpus -out ./packed -unit 100000000 -pack -verify
 package main
 
 import (
@@ -21,11 +27,15 @@ import (
 
 func main() {
 	var (
-		inDir  = flag.String("in", "", "input directory of small files (required)")
-		outDir = flag.String("out", "", "output directory for unit files")
-		unit   = flag.Int64("unit", 100_000_000, "target unit file size in bytes")
-		prefix = flag.String("prefix", "unit", "unit file name prefix")
-		dry    = flag.Bool("dry", false, "plan only; do not write output")
+		inDir   = flag.String("in", "", "input directory of small files (required)")
+		outDir  = flag.String("out", "", "output directory for unit files")
+		unit    = flag.Int64("unit", 100_000_000, "target unit file size in bytes")
+		prefix  = flag.String("prefix", "unit", "unit file name prefix")
+		dry     = flag.Bool("dry", false, "plan only; do not write output")
+		pack    = flag.Bool("pack", false, "write pack shards instead of plain unit files")
+		shard   = flag.Int64("shard", 256<<20, "target pack shard size in bytes (with -pack)")
+		verify  = flag.Bool("verify", false, "re-import the packs and verify checksums (with -pack)")
+		workers = flag.Int("workers", 0, "content read-ahead workers for -pack (0 = all CPUs)")
 	)
 	flag.Parse()
 	if *inDir == "" {
@@ -57,8 +67,39 @@ func main() {
 	if *dry {
 		return
 	}
-	if err := merged.Export(*outDir); err != nil {
-		fatal(err)
+	if *pack {
+		paths, err := merged.ExportPack(*outDir, vfs.PackOptions{
+			Prefix:    *prefix,
+			ShardSize: *shard,
+			Workers:   *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d unit files into %d pack shard(s) in %s\n", merged.Len(), len(paths), *outDir)
+		if *verify {
+			want, err := vfs.CombinedChecksum(merged)
+			if err != nil {
+				fatal(err)
+			}
+			imported, closer, err := vfs.ImportPack(*outDir)
+			if err != nil {
+				fatal(err)
+			}
+			defer closer.Close()
+			got, err := vfs.CombinedChecksum(imported)
+			if err != nil {
+				fatal(err)
+			}
+			if got != want {
+				fatal(fmt.Errorf("verify: pack round-trip checksum %x != source %x", got, want))
+			}
+			fmt.Printf("verified: %d members round-trip bit-identically (checksum %x)\n", imported.Len(), got)
+		}
+	} else {
+		if err := merged.Export(*outDir); err != nil {
+			fatal(err)
+		}
 	}
 	// Write the manifest so outputs can be traced back to inputs.
 	manifest, err := os.Create(*outDir + "/MANIFEST.txt")
@@ -72,7 +113,9 @@ func main() {
 			fmt.Fprintf(manifest, "  %s %d\n", it.ID, it.Size)
 		}
 	}
-	fmt.Printf("wrote %d unit files and MANIFEST.txt to %s\n", merged.Len(), *outDir)
+	if !*pack {
+		fmt.Printf("wrote %d unit files and MANIFEST.txt to %s\n", merged.Len(), *outDir)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,299 @@
+// Package packstore implements a durable, sharded pack-file store for
+// reshaped corpora: the on-disk counterpart of the paper's unit files.
+// Exporting a reshaped corpus as one plain file per unit re-pays the
+// per-file open overhead the reshaping eliminated; a pack bundles many
+// members into a single container with an index, so a million-member
+// corpus costs a handful of file opens and any member is reachable in
+// O(1) — the same shape every modern data-loading stack (tfrecord,
+// WebDataset) converged on, and the staging artefact the paper's §3/§5
+// storage experiments call for.
+//
+// # Format
+//
+// A pack is append-only and fully deterministic (no timestamps, no
+// padding, fixed little-endian encoding), so packing the same members in
+// the same order twice yields byte-identical files:
+//
+//	header   8 B  magic "RPACKv1\n"
+//	records  one per member, in append order:
+//	           magic "RREC" (4 B) | nameLen uint32 | size uint64
+//	           name (nameLen B) | payload (size B)
+//	           checksum uint64 — FNV-64a of the payload
+//	index    one entry per member, sorted by name:
+//	           nameLen uint32 | size uint64 | checksum uint64
+//	           offset uint64 (payload start) | name
+//	footer  40 B  indexOffset | indexSize | count | indexChecksum
+//	              | magic "RPACKEND"
+//
+// The payload checksum trails the payload so writing streams in one
+// pass; the index repeats it so strict readers never touch record
+// headers. Because records are strictly sequential, a crash while
+// appending can only damage the tail: Recover rescans the records of a
+// pack with a missing or corrupt footer and salvages every complete
+// member (see reader.go).
+package packstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Format constants. Changing any of these is a format break.
+const (
+	headerMagic = "RPACKv1\n"
+	footerMagic = "RPACKEND"
+	recordMagic = "RREC"
+
+	headerLen       = len(headerMagic)
+	recordPrefixLen = 4 + 4 + 8 // magic, nameLen, size
+	checksumLen     = 8
+	footerLen       = 8 + 8 + 8 + 8 + len(footerMagic)
+
+	// MaxNameLen bounds member names; it doubles as a sanity check when
+	// scanning possibly-damaged packs.
+	MaxNameLen = 1 << 16
+)
+
+// Member describes one file stored in a pack.
+type Member struct {
+	// Name is the member's slash-separated corpus name, unique per pack.
+	Name string
+	// Size is the payload length in bytes.
+	Size int64
+	// Checksum is the FNV-64a hash of the payload.
+	Checksum uint64
+	// Offset is the payload's byte offset within the pack file.
+	Offset int64
+}
+
+// Writer appends members to a single pack file. Append streams payloads
+// straight to disk (one pass, checksummed on the fly); Close writes the
+// sorted index and footer and syncs. A Writer whose Append failed is
+// poisoned: Close then leaves the truncated, Recover-able file in place
+// and reports the original error.
+type Writer struct {
+	f       *os.File
+	bw      *bufio.Writer
+	path    string
+	off     int64
+	members []Member
+	names   map[string]struct{}
+	err     error
+	closed  bool
+	buf     [recordPrefixLen]byte
+}
+
+// Create opens a new pack file at path, truncating any existing file,
+// and writes the header.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("packstore: create: %w", err)
+	}
+	w := &Writer{
+		f:     f,
+		bw:    bufio.NewWriterSize(f, 256*1024),
+		path:  path,
+		names: make(map[string]struct{}),
+	}
+	if _, err := w.bw.WriteString(headerMagic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("packstore: create %s: %w", path, err)
+	}
+	w.off = int64(headerLen)
+	return w, nil
+}
+
+// Path returns the file path the writer is producing.
+func (w *Writer) Path() string { return w.path }
+
+// Count returns the number of members appended so far.
+func (w *Writer) Count() int { return len(w.members) }
+
+// DataSize returns the summed payload bytes appended so far — the
+// quantity shard rolling is measured against.
+func (w *Writer) DataSize() int64 {
+	var n int64
+	for _, m := range w.members {
+		n += m.Size
+	}
+	return n
+}
+
+// checkName validates a member name for storage.
+func checkName(name string) error {
+	switch {
+	case name == "":
+		return fmt.Errorf("packstore: empty member name")
+	case len(name) >= MaxNameLen:
+		return fmt.Errorf("packstore: member name %.40q... exceeds %d bytes", name, MaxNameLen)
+	case strings.ContainsRune(name, 0):
+		return fmt.Errorf("packstore: member name %q contains NUL", name)
+	}
+	return nil
+}
+
+// Append stores one member whose content comes from r. The reader must
+// yield exactly size bytes; shorter or longer content is an error, since
+// a silently mis-sized member would corrupt every later offset.
+func (w *Writer) Append(name string, size int64, r io.Reader) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("packstore: append to closed writer %s", w.path)
+	}
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if _, dup := w.names[name]; dup {
+		return fmt.Errorf("packstore: duplicate member %q", name)
+	}
+	if size < 0 {
+		return fmt.Errorf("packstore: member %q has negative size %d", name, size)
+	}
+	// Record prefix: magic, nameLen, size.
+	b := w.buf[:]
+	copy(b, recordMagic)
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(name)))
+	binary.LittleEndian.PutUint64(b[8:], uint64(size))
+	if _, err := w.bw.Write(b); err != nil {
+		return w.fail(err)
+	}
+	if _, err := w.bw.WriteString(name); err != nil {
+		return w.fail(err)
+	}
+	payloadOff := w.off + int64(recordPrefixLen) + int64(len(name))
+	h := fnv.New64a()
+	n, err := io.Copy(io.MultiWriter(w.bw, h), io.LimitReader(r, size))
+	if err != nil {
+		return w.fail(fmt.Errorf("packstore: member %q: %w", name, err))
+	}
+	if n != size {
+		return w.fail(fmt.Errorf("packstore: member %q declared %d bytes but content has %d", name, size, n))
+	}
+	// The source must be exhausted: extra bytes are as corrupt as missing
+	// ones (mirrors vfs.ReadInto).
+	var probe [1]byte
+	if m, _ := r.Read(probe[:]); m > 0 {
+		return w.fail(fmt.Errorf("packstore: member %q declared %d bytes but content has more", name, size))
+	}
+	var sum [checksumLen]byte
+	binary.LittleEndian.PutUint64(sum[:], h.Sum64())
+	if _, err := w.bw.Write(sum[:]); err != nil {
+		return w.fail(err)
+	}
+	w.members = append(w.members, Member{
+		Name:     name,
+		Size:     size,
+		Checksum: h.Sum64(),
+		Offset:   payloadOff,
+	})
+	w.names[name] = struct{}{}
+	w.off = payloadOff + size + checksumLen
+	return nil
+}
+
+// AppendBytes is Append over an in-memory payload.
+func (w *Writer) AppendBytes(name string, data []byte) error {
+	return w.Append(name, int64(len(data)), &byteReader{data: data})
+}
+
+// byteReader avoids bytes.NewReader's extra methods; Append only Reads.
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// fail poisons the writer: the pack's tail is now a partial record, so
+// finalising would index garbage. Close will surface this error.
+func (w *Writer) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Close writes the sorted index and footer, flushes, syncs and closes
+// the file. On a poisoned writer it closes the file without finalising
+// (leaving a Recover-able truncated pack) and returns the append error.
+func (w *Writer) Close() error {
+	if w.closed {
+		return fmt.Errorf("packstore: writer %s already closed", w.path)
+	}
+	w.closed = true
+	if w.err != nil {
+		w.bw.Flush()
+		w.f.Close()
+		return w.err
+	}
+	sorted := append([]Member(nil), w.members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	index := encodeIndex(sorted)
+	h := fnv.New64a()
+	h.Write(index)
+
+	indexOff := w.off
+	if _, err := w.bw.Write(index); err != nil {
+		w.f.Close()
+		return fmt.Errorf("packstore: finalize %s: %w", w.path, err)
+	}
+	var footer [footerLen]byte
+	binary.LittleEndian.PutUint64(footer[0:], uint64(indexOff))
+	binary.LittleEndian.PutUint64(footer[8:], uint64(len(index)))
+	binary.LittleEndian.PutUint64(footer[16:], uint64(len(sorted)))
+	binary.LittleEndian.PutUint64(footer[24:], h.Sum64())
+	copy(footer[32:], footerMagic)
+	if _, err := w.bw.Write(footer[:]); err != nil {
+		w.f.Close()
+		return fmt.Errorf("packstore: finalize %s: %w", w.path, err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("packstore: finalize %s: %w", w.path, err)
+	}
+	// Durable store: the pack must survive the crash it is the recovery
+	// artefact for.
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("packstore: sync %s: %w", w.path, err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("packstore: close %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// encodeIndex serialises index entries in the given (sorted) order.
+func encodeIndex(members []Member) []byte {
+	size := 0
+	for _, m := range members {
+		size += 4 + 8 + 8 + 8 + len(m.Name)
+	}
+	out := make([]byte, 0, size)
+	var b [28]byte
+	for _, m := range members {
+		binary.LittleEndian.PutUint32(b[0:], uint32(len(m.Name)))
+		binary.LittleEndian.PutUint64(b[4:], uint64(m.Size))
+		binary.LittleEndian.PutUint64(b[12:], m.Checksum)
+		binary.LittleEndian.PutUint64(b[20:], uint64(m.Offset))
+		out = append(out, b[:]...)
+		out = append(out, m.Name...)
+	}
+	return out
+}

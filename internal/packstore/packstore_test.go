@@ -1,0 +1,374 @@
+package packstore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testMembers builds a deterministic member set with varied sizes,
+// including empty and nested names.
+func testMembers(n int) []struct {
+	name string
+	data []byte
+} {
+	out := make([]struct {
+		name string
+		data []byte
+	}, n)
+	for i := range out {
+		out[i].name = fmt.Sprintf("dir%d/file-%04d.txt", i%3, i)
+		size := (i * 37) % 4096
+		data := make([]byte, size)
+		for j := range data {
+			data[j] = byte((i + j*31) % 251)
+		}
+		out[i].data = data
+	}
+	return out
+}
+
+// writePack writes the given members into a single pack at path.
+func writePack(t *testing.T, path string, members []struct {
+	name string
+	data []byte
+}) {
+	t.Helper()
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range members {
+		if err := w.AppendBytes(m.name, m.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.pack")
+	members := testMembers(50)
+	writePack(t, path, members)
+
+	p, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Len() != len(members) {
+		t.Fatalf("Len = %d, want %d", p.Len(), len(members))
+	}
+	if p.Truncated() {
+		t.Fatal("finalised pack reports Truncated")
+	}
+	for _, m := range members {
+		got, ok := p.Lookup(m.name)
+		if !ok {
+			t.Fatalf("member %q missing", m.name)
+		}
+		if got.Size != int64(len(m.data)) {
+			t.Fatalf("member %q size %d, want %d", m.name, got.Size, len(m.data))
+		}
+		data, err := io.ReadAll(p.SectionReader(got))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, m.data) {
+			t.Fatalf("member %q bytes differ", m.name)
+		}
+	}
+	// Members() is sorted by name.
+	ms := p.Members()
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1].Name >= ms[i].Name {
+			t.Fatalf("members not sorted: %q >= %q", ms[i-1].Name, ms[i].Name)
+		}
+	}
+	if err := p.Verify(0); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestDeterministicBytes(t *testing.T) {
+	dir := t.TempDir()
+	members := testMembers(30)
+	writePack(t, filepath.Join(dir, "a.pack"), members)
+	writePack(t, filepath.Join(dir, "b.pack"), members)
+	a, err := os.ReadFile(filepath.Join(dir, "a.pack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "b.pack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("packing the same members twice produced different bytes")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(filepath.Join(dir, "a.pack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBytes("", nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := w.AppendBytes("ok", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBytes("ok", []byte("y")); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := w.Append("short", 5, strings.NewReader("abc")); err == nil {
+		t.Error("short content accepted")
+	}
+	// A failed append poisons the writer: Close must refuse to finalise.
+	if err := w.Close(); err == nil {
+		t.Error("Close after failed append did not report the error")
+	}
+}
+
+func TestAppendRejectsLongContent(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(filepath.Join(dir, "a.pack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("long", 2, strings.NewReader("abcdef")); err == nil {
+		t.Error("over-long content accepted")
+	}
+	w.Close()
+}
+
+func TestEmptyPack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.pack")
+	writePack(t, path, nil)
+	p, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", p.Len())
+	}
+	if err := p.Verify(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptPayloadCaughtByVerify(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.pack")
+	members := testMembers(20)
+	writePack(t, path, members)
+
+	p, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a member with a non-empty payload and flip one byte of it.
+	var victim Member
+	for _, m := range p.Members() {
+		if m.Size > 0 {
+			victim = m
+			break
+		}
+	}
+	p.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[victim.Offset+victim.Size/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := Open(path) // index untouched: strict open still succeeds
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	for _, workers := range []int{1, 2, 8} {
+		err := p2.Verify(workers)
+		if err == nil {
+			t.Fatalf("Verify(%d) missed a flipped payload byte", workers)
+		}
+		if !strings.Contains(err.Error(), victim.Name) {
+			t.Fatalf("Verify(%d) blamed the wrong member: %v", workers, err)
+		}
+	}
+}
+
+func TestCorruptIndexCaughtByOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.pack")
+	writePack(t, path, testMembers(5))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the index region (just before the footer).
+	data[len(data)-footerLen-3] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a pack with a corrupt index")
+	}
+	// Recover falls back to the record scan and salvages everything.
+	p, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Len() != 5 {
+		t.Fatalf("recovered %d members, want 5", p.Len())
+	}
+	if !p.Truncated() {
+		t.Error("recovered pack does not report Truncated")
+	}
+}
+
+func TestShardWriter(t *testing.T) {
+	dir := t.TempDir()
+	members := testMembers(40)
+	var total int64
+	sw := NewShardWriter(dir, "shard", 8*1024)
+	for _, m := range members {
+		if err := sw.AppendBytes(m.name, m.data); err != nil {
+			t.Fatal(err)
+		}
+		total += int64(len(m.data))
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paths := sw.Paths()
+	if len(paths) < 2 {
+		t.Fatalf("expected multiple shards, got %d", len(paths))
+	}
+	found, err := Discover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != len(paths) {
+		t.Fatalf("Discover found %d packs, writer reported %d", len(found), len(paths))
+	}
+
+	set, err := OpenSet(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	if set.Len() != len(members) {
+		t.Fatalf("set has %d members, want %d", set.Len(), len(members))
+	}
+	if set.DataSize() != total {
+		t.Fatalf("set data size %d, want %d", set.DataSize(), total)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		if err := set.Verify(workers); err != nil {
+			t.Fatalf("Verify(%d): %v", workers, err)
+		}
+	}
+	// Every member is reachable through exactly one shard.
+	seen := make(map[string]bool)
+	for _, p := range set.Packs() {
+		for _, m := range p.Members() {
+			if seen[m.Name] {
+				t.Fatalf("member %q appears in two shards", m.Name)
+			}
+			seen[m.Name] = true
+		}
+	}
+	if len(seen) != len(members) {
+		t.Fatalf("saw %d unique members, want %d", len(seen), len(members))
+	}
+}
+
+func TestShardWriterEmptyLeavesNoFiles(t *testing.T) {
+	dir := t.TempDir()
+	sw := NewShardWriter(dir, "shard", 1024)
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	found, err := Discover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 0 {
+		t.Fatalf("empty shard writer left %d files", len(found))
+	}
+}
+
+func TestOversizedMemberGetsOwnShard(t *testing.T) {
+	dir := t.TempDir()
+	sw := NewShardWriter(dir, "shard", 10)
+	big := bytes.Repeat([]byte("x"), 100)
+	if err := sw.AppendBytes("small-1", []byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AppendBytes("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AppendBytes("small-2", []byte("cd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Shards(); got != 3 {
+		t.Fatalf("got %d shards, want 3 (oversized member isolated)", got)
+	}
+}
+
+func TestSectionReadersShareOneHandle(t *testing.T) {
+	// Concurrent reads through many section readers over one pack must
+	// not interfere (ReadAt is stateless) — run under -race this is also
+	// the fd-safety proof.
+	path := filepath.Join(t.TempDir(), "a.pack")
+	members := testMembers(32)
+	writePack(t, path, members)
+	p, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	errc := make(chan error, len(members))
+	for _, m := range members {
+		m := m
+		go func() {
+			got, ok := p.Lookup(m.name)
+			if !ok {
+				errc <- fmt.Errorf("member %q missing", m.name)
+				return
+			}
+			data, err := io.ReadAll(p.SectionReader(got))
+			if err != nil {
+				errc <- err
+				return
+			}
+			if !bytes.Equal(data, m.data) {
+				errc <- fmt.Errorf("member %q bytes differ", m.name)
+				return
+			}
+			errc <- nil
+		}()
+	}
+	for range members {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package packstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/par"
+)
+
+// Pack is an open pack file. All members share one *os.File handle used
+// exclusively through ReadAt (pread), so any number of member readers
+// can stream concurrently from a single descriptor — opening a member is
+// free and reading one costs O(member), not O(pack).
+type Pack struct {
+	path      string
+	ra        io.ReaderAt
+	closer    io.Closer
+	size      int64
+	members   []Member // sorted by name
+	byName    map[string]int
+	truncated bool
+}
+
+// Open opens a finalised pack strictly: the footer must be intact and
+// the index must match its checksum. Use Recover for packs that may
+// have lost their tail to a crash.
+func Open(path string) (*Pack, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("packstore: open: %w", err)
+	}
+	p, err := openStrict(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// openStrict reads header, footer and index from an open file.
+func openStrict(f *os.File, path string) (*Pack, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("packstore: open %s: %w", path, err)
+	}
+	size := info.Size()
+	if size < int64(headerLen+footerLen) {
+		return nil, fmt.Errorf("packstore: %s: too short for a pack (%d bytes)", path, size)
+	}
+	var hdr [8]byte
+	if _, err := f.ReadAt(hdr[:headerLen], 0); err != nil {
+		return nil, fmt.Errorf("packstore: %s: reading header: %w", path, err)
+	}
+	if string(hdr[:headerLen]) != headerMagic {
+		return nil, fmt.Errorf("packstore: %s: bad header magic", path)
+	}
+	var footer [footerLen]byte
+	if _, err := f.ReadAt(footer[:], size-int64(footerLen)); err != nil {
+		return nil, fmt.Errorf("packstore: %s: reading footer: %w", path, err)
+	}
+	if string(footer[32:]) != footerMagic {
+		return nil, fmt.Errorf("packstore: %s: bad footer magic (truncated or unfinalised pack; try Recover)", path)
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(footer[0:]))
+	indexLen := int64(binary.LittleEndian.Uint64(footer[8:]))
+	count := binary.LittleEndian.Uint64(footer[16:])
+	indexSum := binary.LittleEndian.Uint64(footer[24:])
+	if indexOff < int64(headerLen) || indexLen < 0 || indexOff+indexLen != size-int64(footerLen) {
+		return nil, fmt.Errorf("packstore: %s: footer index bounds [%d,+%d) inconsistent with file size %d",
+			path, indexOff, indexLen, size)
+	}
+	index := make([]byte, indexLen)
+	if _, err := f.ReadAt(index, indexOff); err != nil {
+		return nil, fmt.Errorf("packstore: %s: reading index: %w", path, err)
+	}
+	h := fnv.New64a()
+	h.Write(index)
+	if h.Sum64() != indexSum {
+		return nil, fmt.Errorf("packstore: %s: index checksum %x != footer %x (corrupt index; try Recover)",
+			path, h.Sum64(), indexSum)
+	}
+	members, err := decodeIndex(index, count, indexOff)
+	if err != nil {
+		return nil, fmt.Errorf("packstore: %s: %w", path, err)
+	}
+	return newPack(path, f, f, size, members, false)
+}
+
+// decodeIndex parses index bytes, validating every entry's bounds
+// against the record region [headerLen, indexOff).
+func decodeIndex(index []byte, count uint64, indexOff int64) ([]Member, error) {
+	members := make([]Member, 0, count)
+	off := 0
+	for i := uint64(0); i < count; i++ {
+		if off+28 > len(index) {
+			return nil, fmt.Errorf("index entry %d overruns index", i)
+		}
+		nameLen := int(binary.LittleEndian.Uint32(index[off:]))
+		m := Member{
+			Size:     int64(binary.LittleEndian.Uint64(index[off+4:])),
+			Checksum: binary.LittleEndian.Uint64(index[off+12:]),
+			Offset:   int64(binary.LittleEndian.Uint64(index[off+20:])),
+		}
+		off += 28
+		if nameLen <= 0 || nameLen >= MaxNameLen || off+nameLen > len(index) {
+			return nil, fmt.Errorf("index entry %d has invalid name length %d", i, nameLen)
+		}
+		m.Name = string(index[off : off+nameLen])
+		off += nameLen
+		if m.Size < 0 || m.Offset < int64(headerLen) || m.Offset+m.Size+checksumLen > indexOff {
+			return nil, fmt.Errorf("index entry %q payload [%d,+%d) outside record region", m.Name, m.Offset, m.Size)
+		}
+		members = append(members, m)
+	}
+	if off != len(index) {
+		return nil, fmt.Errorf("index has %d trailing bytes", len(index)-off)
+	}
+	return members, nil
+}
+
+// newPack assembles a Pack, sorting members by name and rejecting
+// duplicates so lookups and iteration order are deterministic.
+func newPack(path string, ra io.ReaderAt, closer io.Closer, size int64, members []Member, truncated bool) (*Pack, error) {
+	sort.Slice(members, func(i, j int) bool { return members[i].Name < members[j].Name })
+	byName := make(map[string]int, len(members))
+	for i, m := range members {
+		if _, dup := byName[m.Name]; dup {
+			return nil, fmt.Errorf("packstore: %s: duplicate member %q", path, m.Name)
+		}
+		byName[m.Name] = i
+	}
+	return &Pack{
+		path:      path,
+		ra:        ra,
+		closer:    closer,
+		size:      size,
+		members:   members,
+		byName:    byName,
+		truncated: truncated,
+	}, nil
+}
+
+// Recover opens a pack leniently: if the footer and index are intact it
+// behaves exactly like Open; otherwise it rescans the record region and
+// salvages every complete member, checksums included — the durable-store
+// guarantee that a crash mid-append loses at most the member being
+// written. A pack recovered from a damaged tail reports Truncated().
+func Recover(path string) (*Pack, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("packstore: recover: %w", err)
+	}
+	if p, err := openStrict(f, path); err == nil {
+		return p, nil
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("packstore: recover %s: %w", path, err)
+	}
+	size := info.Size()
+	if size < int64(headerLen) {
+		f.Close()
+		return nil, fmt.Errorf("packstore: recover %s: shorter than the pack header", path)
+	}
+	var hdr [8]byte
+	if _, err := f.ReadAt(hdr[:headerLen], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("packstore: recover %s: reading header: %w", path, err)
+	}
+	if string(hdr[:headerLen]) != headerMagic {
+		f.Close()
+		return nil, fmt.Errorf("packstore: recover %s: not a pack (bad header magic)", path)
+	}
+	members := scanRecords(f, size)
+	p, err := newPack(path, f, f, size, members, true)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Salvage means intact: verify every salvaged payload. A bad final
+	// member is the crash tail — drop it; a bad earlier member is
+	// corruption, not truncation — surface it.
+	if err := p.Verify(0); err != nil {
+		if len(members) == 0 {
+			f.Close()
+			return nil, err
+		}
+		last := members[len(members)-1] // highest offset = last appended
+		for _, m := range members {
+			if m.Offset > last.Offset {
+				last = m
+			}
+		}
+		if verr := p.verifyMember(last); verr != nil {
+			trimmed := make([]Member, 0, len(members)-1)
+			for _, m := range members {
+				if m.Name != last.Name {
+					trimmed = append(trimmed, m)
+				}
+			}
+			p, err = newPack(path, f, f, size, trimmed, true)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := p.Verify(0); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("packstore: recover %s: corruption beyond the tail: %w", path, err)
+			}
+		} else {
+			f.Close()
+			return nil, fmt.Errorf("packstore: recover %s: corruption beyond the tail: %w", path, err)
+		}
+	}
+	return p, nil
+}
+
+// scanRecords walks the record region sequentially and returns every
+// member whose record is complete (prefix, name, payload and trailing
+// checksum all present). The first malformed or cut record ends the
+// scan: records are written strictly sequentially, so nothing beyond a
+// damaged record can be a record.
+func scanRecords(ra io.ReaderAt, size int64) []Member {
+	var members []Member
+	off := int64(headerLen)
+	prefix := make([]byte, recordPrefixLen)
+	for {
+		if off+int64(recordPrefixLen) > size {
+			return members
+		}
+		if _, err := ra.ReadAt(prefix, off); err != nil {
+			return members
+		}
+		if string(prefix[:4]) != recordMagic {
+			return members
+		}
+		nameLen := int64(binary.LittleEndian.Uint32(prefix[4:]))
+		msize := int64(binary.LittleEndian.Uint64(prefix[8:]))
+		if nameLen <= 0 || nameLen >= MaxNameLen || msize < 0 {
+			return members
+		}
+		nameOff := off + int64(recordPrefixLen)
+		payloadOff := nameOff + nameLen
+		end := payloadOff + msize + checksumLen
+		if end > size {
+			return members
+		}
+		name := make([]byte, nameLen)
+		if _, err := ra.ReadAt(name, nameOff); err != nil {
+			return members
+		}
+		var sum [checksumLen]byte
+		if _, err := ra.ReadAt(sum[:], payloadOff+msize); err != nil {
+			return members
+		}
+		members = append(members, Member{
+			Name:     string(name),
+			Size:     msize,
+			Checksum: binary.LittleEndian.Uint64(sum[:]),
+			Offset:   payloadOff,
+		})
+		off = end
+	}
+}
+
+// Path returns the pack's file path.
+func (p *Pack) Path() string { return p.path }
+
+// Len returns the number of members.
+func (p *Pack) Len() int { return len(p.members) }
+
+// DataSize returns the summed payload bytes of all members.
+func (p *Pack) DataSize() int64 {
+	var n int64
+	for _, m := range p.members {
+		n += m.Size
+	}
+	return n
+}
+
+// Truncated reports whether the pack was salvaged from a damaged tail
+// (only ever true for packs opened via Recover).
+func (p *Pack) Truncated() bool { return p.truncated }
+
+// Members returns all members sorted by name. Callers must not modify
+// the returned slice.
+func (p *Pack) Members() []Member { return p.members }
+
+// Lookup finds a member by name.
+func (p *Pack) Lookup(name string) (Member, bool) {
+	i, ok := p.byName[name]
+	if !ok {
+		return Member{}, false
+	}
+	return p.members[i], true
+}
+
+// SectionReader returns an independent reader over a member's payload.
+// It never opens a file descriptor: all sections share the pack's
+// handle through ReadAt.
+func (p *Pack) SectionReader(m Member) *io.SectionReader {
+	return io.NewSectionReader(p.ra, m.Offset, m.Size)
+}
+
+// Open returns a reader over the named member's payload.
+func (p *Pack) Open(name string) (*io.SectionReader, error) {
+	m, ok := p.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("packstore: %s: no member %q", p.path, name)
+	}
+	return p.SectionReader(m), nil
+}
+
+// verifyBufPool recycles the streaming windows Verify hashes through.
+var verifyBufPool = sync.Pool{
+	New: func() any {
+		buf := make([]byte, 256*1024)
+		return &buf
+	},
+}
+
+// verifyMember streams one member's payload and compares checksums.
+func (p *Pack) verifyMember(m Member) error {
+	h := fnv.New64a()
+	bp := verifyBufPool.Get().(*[]byte)
+	_, err := io.CopyBuffer(h, p.SectionReader(m), *bp)
+	verifyBufPool.Put(bp)
+	if err != nil {
+		return fmt.Errorf("packstore: %s: verifying %q: %w", p.path, m.Name, err)
+	}
+	if sum := h.Sum64(); sum != m.Checksum {
+		return fmt.Errorf("packstore: %s: member %q checksum %x != stored %x", p.path, m.Name, sum, m.Checksum)
+	}
+	return nil
+}
+
+// Verify checksums every member's payload against the index, fanning the
+// FNV streams out over the pool (workers <= 0 means GOMAXPROCS). The
+// reported error is the one from the first member in name order, so the
+// outcome is identical at any worker count.
+func (p *Pack) Verify(workers int) error {
+	return par.New(workers).ForEach(len(p.members), func(i int) error {
+		return p.verifyMember(p.members[i])
+	})
+}
+
+// Close releases the pack's shared file handle. Member readers obtained
+// earlier fail after Close.
+func (p *Pack) Close() error {
+	if p.closer == nil {
+		return nil
+	}
+	c := p.closer
+	p.closer = nil
+	return c.Close()
+}

@@ -1,0 +1,181 @@
+package packstore
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/par"
+)
+
+// ShardWriter splits a stream of members across pack files, rolling to a
+// new shard once the current one holds at least one member and the next
+// member would push its payload bytes past the target. Shard file names
+// are "<prefix>-<seq>.pack" with a fixed-width sequence number, so a
+// directory listing sorts shards in write order and the layout is a pure
+// function of the member sequence — byte-reproducible.
+type ShardWriter struct {
+	dir    string
+	prefix string
+	target int64
+	w      *Writer
+	seq    int
+	paths  []string
+	closed bool
+}
+
+// NewShardWriter prepares a sharding writer. target <= 0 means a single
+// unbounded shard. No file is created until the first Append, so an
+// empty export leaves no artefacts.
+func NewShardWriter(dir, prefix string, target int64) *ShardWriter {
+	if prefix == "" {
+		prefix = "corpus"
+	}
+	return &ShardWriter{dir: dir, prefix: prefix, target: target}
+}
+
+// Paths returns the shard files written so far, in write order.
+func (s *ShardWriter) Paths() []string { return append([]string(nil), s.paths...) }
+
+// Shards returns the number of shard files started so far.
+func (s *ShardWriter) Shards() int { return s.seq }
+
+// roll closes the current shard (if any) and starts the next.
+func (s *ShardWriter) roll() error {
+	if s.w != nil {
+		if err := s.w.Close(); err != nil {
+			return err
+		}
+		s.w = nil
+	}
+	path := filepath.Join(s.dir, fmt.Sprintf("%s-%06d.pack", s.prefix, s.seq))
+	w, err := Create(path)
+	if err != nil {
+		return err
+	}
+	s.w = w
+	s.seq++
+	s.paths = append(s.paths, path)
+	return nil
+}
+
+// Append stores one member, rolling to a new shard first when the
+// current shard is non-empty and adding size bytes would exceed the
+// target. Oversized members therefore get a shard of their own rather
+// than being rejected, mirroring the bin packers' oversized handling.
+func (s *ShardWriter) Append(name string, size int64, r io.Reader) error {
+	if s.closed {
+		return fmt.Errorf("packstore: append to closed shard writer")
+	}
+	if s.w == nil || (s.target > 0 && s.w.Count() > 0 && s.w.DataSize()+size > s.target) {
+		if err := s.roll(); err != nil {
+			return err
+		}
+	}
+	return s.w.Append(name, size, r)
+}
+
+// AppendBytes is Append over an in-memory payload.
+func (s *ShardWriter) AppendBytes(name string, data []byte) error {
+	return s.Append(name, int64(len(data)), &byteReader{data: data})
+}
+
+// Close finalises the last shard. The ShardWriter is unusable afterwards.
+func (s *ShardWriter) Close() error {
+	if s.closed {
+		return fmt.Errorf("packstore: shard writer already closed")
+	}
+	s.closed = true
+	if s.w == nil {
+		return nil
+	}
+	err := s.w.Close()
+	s.w = nil
+	return err
+}
+
+// Discover returns the pack files under dir ("*.pack"), sorted by name —
+// the inverse of ShardWriter's naming, recovering write order.
+func Discover(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.pack"))
+	if err != nil {
+		return nil, fmt.Errorf("packstore: discover %s: %w", dir, err)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Set is a collection of open packs — typically the shards of one
+// exported corpus — verified and closed as a unit.
+type Set struct {
+	packs []*Pack
+}
+
+// OpenSet strictly opens every path into a Set. On any failure the packs
+// opened so far are closed.
+func OpenSet(paths ...string) (*Set, error) {
+	s := &Set{packs: make([]*Pack, 0, len(paths))}
+	for _, path := range paths {
+		p, err := Open(path)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.packs = append(s.packs, p)
+	}
+	return s, nil
+}
+
+// Packs returns the set's packs in open order. Callers must not modify
+// the returned slice.
+func (s *Set) Packs() []*Pack { return s.packs }
+
+// Len returns the total member count across all packs.
+func (s *Set) Len() int {
+	n := 0
+	for _, p := range s.packs {
+		n += p.Len()
+	}
+	return n
+}
+
+// DataSize returns the total payload bytes across all packs.
+func (s *Set) DataSize() int64 {
+	var n int64
+	for _, p := range s.packs {
+		n += p.DataSize()
+	}
+	return n
+}
+
+// Verify checksums every member of every pack on one pool, so a set of
+// many small shards still saturates the machine. Errors are reported for
+// the first failing member in (pack, name) order, independent of worker
+// count.
+func (s *Set) Verify(workers int) error {
+	type slot struct {
+		p *Pack
+		m Member
+	}
+	flat := make([]slot, 0, s.Len())
+	for _, p := range s.packs {
+		for _, m := range p.Members() {
+			flat = append(flat, slot{p, m})
+		}
+	}
+	return par.New(workers).ForEach(len(flat), func(i int) error {
+		return flat[i].p.verifyMember(flat[i].m)
+	})
+}
+
+// Close closes every pack, returning the first error.
+func (s *Set) Close() error {
+	var first error
+	for _, p := range s.packs {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

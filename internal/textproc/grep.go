@@ -181,6 +181,27 @@ func (s *Searcher) CountReader(r io.Reader) (int64, error) {
 	}
 }
 
+// countFile streams one vfs file through CountReader, closing the reader
+// afterwards when the content source hands out closable readers (disk- or
+// pack-backed corpora); leaking one descriptor per searched file would
+// exhaust the process limit long before a million-file corpus finishes.
+func (s *Searcher) countFile(f vfs.File) (int64, error) {
+	r, err := f.Open()
+	if err != nil {
+		return 0, err
+	}
+	matches, err := s.CountReader(r)
+	if c, ok := r.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return 0, fmt.Errorf("textproc: grep %s: %w", f.Name, err)
+	}
+	return matches, nil
+}
+
 // FileResult is the per-file outcome of a grep run.
 type FileResult struct {
 	Name    string
@@ -199,13 +220,9 @@ type GrepResult struct {
 func (s *Searcher) GrepFiles(files []vfs.File) (*GrepResult, error) {
 	res := &GrepResult{}
 	for _, f := range files {
-		r, err := f.Open()
+		matches, err := s.countFile(f)
 		if err != nil {
 			return nil, err
-		}
-		matches, err := s.CountReader(r)
-		if err != nil {
-			return nil, fmt.Errorf("textproc: grep %s: %w", f.Name, err)
 		}
 		res.Files = append(res.Files, FileResult{Name: f.Name, Bytes: f.Size, Matches: matches})
 		res.Bytes += f.Size

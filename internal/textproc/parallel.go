@@ -1,7 +1,6 @@
 package textproc
 
 import (
-	"fmt"
 	"sync"
 
 	"repro/internal/lexicon"
@@ -26,13 +25,9 @@ func (s *Searcher) ParallelGrep(files []vfs.File, workers int) (*GrepResult, err
 	results := make([]FileResult, len(files))
 	err := pool.ForEach(len(files), func(i int) error {
 		f := files[i]
-		r, err := f.Open()
+		matches, err := s.countFile(f)
 		if err != nil {
 			return err
-		}
-		matches, err := s.CountReader(r)
-		if err != nil {
-			return fmt.Errorf("textproc: grep %s: %w", f.Name, err)
 		}
 		results[i] = FileResult{Name: f.Name, Bytes: f.Size, Matches: matches}
 		return nil

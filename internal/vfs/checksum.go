@@ -37,14 +37,15 @@ func hashReader(r io.Reader) (uint64, error) {
 	return h.Sum64(), nil
 }
 
-// Checksum streams a file's content through FNV-64a.
+// Checksum streams a file's content through FNV-64a, closing the reader
+// afterwards when the content source hands out closable readers.
 func Checksum(f File) (uint64, error) {
 	r, err := f.Open()
 	if err != nil {
 		return 0, err
 	}
 	sum, err := hashReader(r)
-	if err != nil {
+	if err := closeReader(r, err); err != nil {
 		return 0, fmt.Errorf("vfs: checksum %q: %w", f.Name, err)
 	}
 	return sum, nil
@@ -175,7 +176,7 @@ func CombinedChecksum(fs *FS) (uint64, error) {
 				bp := copyBufPool.Get().(*[]byte)
 				_, err = io.CopyBuffer(h, r, *bp)
 				copyBufPool.Put(bp)
-				if err != nil {
+				if err := closeReader(r, err); err != nil {
 					return 0, fmt.Errorf("vfs: combined checksum at %q: %w", files[i].Name, err)
 				}
 				continue

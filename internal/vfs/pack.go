@@ -1,0 +1,160 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/packstore"
+	"repro/internal/par"
+)
+
+// Pack round-trips: a reshaped corpus exported as pack shards instead of
+// one plain file per unit keeps the paper's gains on disk — re-importing
+// costs a handful of opens however many members there are, and every
+// member stays individually checksummed and randomly accessible.
+
+// PackOptions configures ExportPack.
+type PackOptions struct {
+	// Prefix names the shard files "<Prefix>-<seq>.pack". Default "corpus".
+	Prefix string
+	// ShardSize is the target payload bytes per shard; members are never
+	// split, so a shard holds at least one member however large. <= 0
+	// means a single unbounded shard. Default 256 MB.
+	ShardSize int64
+	// Workers bounds the content read-ahead fan-out (0 = GOMAXPROCS,
+	// 1 = serial). The written bytes are identical at any worker count:
+	// only materialisation is concurrent, appending is in List order.
+	Workers int
+}
+
+func (o *PackOptions) fillDefaults() {
+	if o.Prefix == "" {
+		o.Prefix = "corpus"
+	}
+	if o.ShardSize == 0 {
+		o.ShardSize = 256 << 20
+	}
+}
+
+// ExportPack writes every content-backed file into pack shards under
+// dir, in List order, and returns the shard paths. Like CombinedChecksum
+// the expensive part — materialising content — runs ahead concurrently
+// in a bounded window while members are appended strictly in order, so
+// the shards are byte-reproducible: the same FS always produces the same
+// pack files.
+func (fs *FS) ExportPack(dir string, opts PackOptions) ([]string, error) {
+	opts.fillDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("vfs: export pack: %w", err)
+	}
+	files := fs.List()
+	sw := packstore.NewShardWriter(dir, opts.Prefix, opts.ShardSize)
+
+	// Files above the prefetch cap are streamed at append time instead of
+	// being materialised, bounding read-ahead memory at window × cap.
+	const maxPrefetch = 4 << 20
+	pool := par.New(opts.Workers)
+	window := pool.Workers() * 2
+	if window < 2 {
+		window = 2
+	}
+	bufs := make([][]byte, len(files))
+	for lo := 0; lo < len(files); lo += window {
+		hi := lo + window
+		if hi > len(files) {
+			hi = len(files)
+		}
+		err := pool.ForEach(hi-lo, func(k int) error {
+			i := lo + k
+			if files[i].Size > maxPrefetch {
+				return nil
+			}
+			data, err := files[i].ReadInto(bufs[i])
+			if err != nil {
+				return fmt.Errorf("vfs: export pack at %q: %w", files[i].Name, err)
+			}
+			bufs[i] = data
+			return nil
+		})
+		if err != nil {
+			sw.Close()
+			return nil, err
+		}
+		for i := lo; i < hi; i++ {
+			f := files[i]
+			if f.Size > maxPrefetch || bufs[i] == nil {
+				r, err := f.Open()
+				if err != nil {
+					sw.Close()
+					return nil, fmt.Errorf("vfs: export pack at %q: %w", f.Name, err)
+				}
+				err = closeReader(r, sw.Append(f.Name, f.Size, r))
+				if err != nil {
+					sw.Close()
+					return nil, err
+				}
+				continue
+			}
+			if err := sw.AppendBytes(f.Name, bufs[i]); err != nil {
+				sw.Close()
+				return nil, err
+			}
+			// Hand the backing array to a file one window ahead for reuse.
+			if j := i + window; j < len(files) {
+				bufs[j] = bufs[i][:0]
+			}
+			bufs[i] = nil
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return nil, err
+	}
+	return sw.Paths(), nil
+}
+
+// ImportPack opens pack files — given directly or discovered as "*.pack"
+// under directory arguments — into an FS whose files read straight out
+// of the packs via shared handles: no per-member descriptors, O(1)
+// random access to any member. The returned closer releases the pack
+// handles; files obtained from the FS fail after it is closed.
+func ImportPack(sources ...string) (*FS, io.Closer, error) {
+	var paths []string
+	for _, src := range sources {
+		info, err := os.Stat(src)
+		if err != nil {
+			return nil, nil, fmt.Errorf("vfs: import pack: %w", err)
+		}
+		if !info.IsDir() {
+			paths = append(paths, src)
+			continue
+		}
+		found, err := packstore.Discover(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(found) == 0 {
+			return nil, nil, fmt.Errorf("vfs: import pack: no *.pack files under %s", src)
+		}
+		paths = append(paths, found...)
+	}
+	set, err := packstore.OpenSet(paths...)
+	if err != nil {
+		return nil, nil, err
+	}
+	fs := NewFS()
+	for _, p := range set.Packs() {
+		p := p
+		for _, m := range p.Members() {
+			m := m
+			f := NewContentFile(m.Name, m.Size, func() io.Reader {
+				return p.SectionReader(m)
+			})
+			if err := fs.Add(f); err != nil {
+				set.Close()
+				return nil, nil, fmt.Errorf("vfs: import pack %s: %w", p.Path(), err)
+			}
+		}
+	}
+	return fs, set, nil
+}

@@ -1,0 +1,204 @@
+package vfs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// packTestFS builds an in-memory FS with deterministic content: varied
+// sizes, nested names, empty files.
+func packTestFS(t *testing.T, n int) *FS {
+	t.Helper()
+	fs := NewFS()
+	for i := 0; i < n; i++ {
+		size := (i * 131) % 3000
+		data := make([]byte, size)
+		for j := range data {
+			data[j] = byte((i*7 + j) % 253)
+		}
+		name := fmt.Sprintf("sub%d/doc-%04d.txt", i%4, i)
+		if err := fs.Add(BytesFile(name, data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+func TestExportImportPackRoundTrip(t *testing.T) {
+	fs := packTestFS(t, 60)
+	want, err := CombinedChecksum(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantManifest, err := BuildManifest(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	paths, err := fs.ExportPack(dir, PackOptions{Prefix: "t", ShardSize: 16 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("expected multiple shards, got %d", len(paths))
+	}
+
+	in, closer, err := ImportPack(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if in.Len() != fs.Len() {
+		t.Fatalf("imported %d files, want %d", in.Len(), fs.Len())
+	}
+	got, err := CombinedChecksum(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("combined checksum %x != original %x", got, want)
+	}
+	// Per-file identity, not just the corpus-wide fold.
+	if err := wantManifest.Verify(in); err != nil {
+		t.Fatalf("manifest over pack import: %v", err)
+	}
+	// Byte equality file by file.
+	for _, f := range fs.List() {
+		imp, err := in.Get(f.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := f.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := imp.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("file %q differs after pack round-trip", f.Name)
+		}
+	}
+}
+
+func TestExportPackDeterministicAcrossWorkers(t *testing.T) {
+	fs := packTestFS(t, 45)
+	var reference map[string][]byte
+	for _, workers := range []int{1, 2, 8} {
+		dir := t.TempDir()
+		paths, err := fs.ExportPack(dir, PackOptions{Prefix: "d", ShardSize: 8 * 1024, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := make(map[string][]byte, len(paths))
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards[filepath.Base(p)] = data
+		}
+		if reference == nil {
+			reference = shards
+			continue
+		}
+		if len(shards) != len(reference) {
+			t.Fatalf("workers=%d produced %d shards, reference %d", workers, len(shards), len(reference))
+		}
+		for name, data := range shards {
+			if !bytes.Equal(data, reference[name]) {
+				t.Fatalf("workers=%d: shard %s differs from reference", workers, name)
+			}
+		}
+	}
+}
+
+func TestExportPackTwiceIsByteIdentical(t *testing.T) {
+	fs := packTestFS(t, 30)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	pathsA, err := fs.ExportPack(dirA, PackOptions{ShardSize: 8 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathsB, err := fs.ExportPack(dirB, PackOptions{ShardSize: 8 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pathsA) != len(pathsB) {
+		t.Fatalf("shard counts differ: %d vs %d", len(pathsA), len(pathsB))
+	}
+	for i := range pathsA {
+		a, err := os.ReadFile(pathsA[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pathsB[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("shard %d not byte-identical across exports", i)
+		}
+	}
+}
+
+func TestImportPackExplicitFiles(t *testing.T) {
+	fs := packTestFS(t, 10)
+	dir := t.TempDir()
+	paths, err := fs.ExportPack(dir, PackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, closer, err := ImportPack(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if in.Len() != fs.Len() {
+		t.Fatalf("imported %d files, want %d", in.Len(), fs.Len())
+	}
+}
+
+func TestImportPackEmptyDir(t *testing.T) {
+	if _, _, err := ImportPack(t.TempDir()); err == nil {
+		t.Fatal("ImportPack accepted a directory with no packs")
+	}
+}
+
+func TestExportPackEmptyFS(t *testing.T) {
+	paths, err := NewFS().ExportPack(t.TempDir(), PackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 {
+		t.Fatalf("empty FS exported %d shards", len(paths))
+	}
+}
+
+func TestImportPackReadAfterCloseFails(t *testing.T) {
+	fs := packTestFS(t, 5)
+	dir := t.TempDir()
+	if _, err := fs.ExportPack(dir, PackOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	in, closer, err := ImportPack(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closer.Close()
+	var nonEmpty File
+	for _, f := range in.List() {
+		if f.Size > 0 {
+			nonEmpty = f
+			break
+		}
+	}
+	if _, err := nonEmpty.ReadAll(); err == nil {
+		t.Fatal("reading a pack-backed file succeeded after Close")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/par"
 )
@@ -93,15 +94,37 @@ func (f File) ReadAll() ([]byte, error) {
 	return f.ReadInto(nil)
 }
 
+// closeReader closes r when it holds an OS resource (ImportDir openers
+// hand out bare *os.File readers), keeping err if one is already set.
+// Content sources that are plain in-memory readers are unaffected.
+func closeReader(r io.Reader, err error) error {
+	if c, ok := r.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			return cerr
+		}
+	}
+	return err
+}
+
 // ReadInto is ReadAll with buffer reuse: when cap(buf) >= f.Size the content
 // is read into buf's backing array and no allocation happens. The returned
 // slice always has length f.Size and is only valid until the buffer's next
-// reuse. Pass nil to allocate fresh.
+// reuse. Pass nil to allocate fresh. The reader is closed after draining
+// when the content source hands out closable readers (real files), so
+// reading at manifest scale does not exhaust descriptors.
 func (f File) ReadInto(buf []byte) ([]byte, error) {
 	r, err := f.Open()
 	if err != nil {
 		return nil, err
 	}
+	data, err := readFull(f, r, buf)
+	if err := closeReader(r, err); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func readFull(f File, r io.Reader, buf []byte) ([]byte, error) {
 	if int64(cap(buf)) >= f.Size {
 		buf = buf[:f.Size]
 	} else {
@@ -142,22 +165,79 @@ func Concat(name string, members []File) File {
 	if allContent && len(captured) > 0 {
 		f.content = func() io.Reader {
 			readers := make([]io.Reader, len(captured))
-			for i, m := range captured {
-				readers[i] = m.mustOpen()
+			lazies := make([]*lazyReader, len(captured))
+			for i := range captured {
+				l := &lazyReader{f: captured[i]}
+				lazies[i] = l
+				readers[i] = l
 			}
-			return io.MultiReader(readers...)
+			return &concatReader{Reader: io.MultiReader(readers...), members: lazies}
 		}
 	}
 	return f
 }
 
-func (f File) mustOpen() io.Reader {
-	r, err := f.Open()
-	if err != nil {
-		// Only reachable through misuse of Concat internals; surface loudly.
-		panic(err)
+// lazyReader opens its member on first Read and closes it at EOF, so a
+// merged unit of thousands of disk-backed members holds at most one
+// descriptor at a time instead of one per member for the whole stream.
+type lazyReader struct {
+	f    File
+	r    io.Reader
+	done bool
+}
+
+func (l *lazyReader) Read(p []byte) (int, error) {
+	if l.done {
+		return 0, io.EOF
 	}
-	return r
+	if l.r == nil {
+		r, err := l.f.Open()
+		if err != nil {
+			l.done = true
+			return 0, err
+		}
+		l.r = r
+	}
+	n, err := l.r.Read(p)
+	if err == io.EOF {
+		if cerr := l.Close(); cerr != nil {
+			return n, cerr
+		}
+	}
+	return n, err
+}
+
+// Close releases the member's reader early (abandoned streams); closing
+// an unopened or finished lazyReader is a no-op.
+func (l *lazyReader) Close() error {
+	if l.done && l.r == nil {
+		return nil
+	}
+	l.done = true
+	r := l.r
+	l.r = nil
+	if c, ok := r.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// concatReader is the merged stream handed out by Concat. It implements
+// io.Closer so consumers that close after draining (ReadInto, checksum
+// paths) release any member descriptors still open mid-stream.
+type concatReader struct {
+	io.Reader
+	members []*lazyReader
+}
+
+func (c *concatReader) Close() error {
+	var first error
+	for _, l := range c.members {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // ErrNotFound is returned by FS lookups for unknown names.
@@ -285,11 +365,14 @@ func (fs *FS) Export(dir string) error {
 	files := fs.List()
 	return par.Default().ForEach(len(files), func(i int) error {
 		f := files[i]
+		path, err := exportPath(dir, f.Name)
+		if err != nil {
+			return err
+		}
 		data, err := f.ReadAll()
 		if err != nil {
 			return err
 		}
-		path := filepath.Join(dir, filepath.FromSlash(f.Name))
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			return fmt.Errorf("vfs: export: %w", err)
 		}
@@ -298,6 +381,19 @@ func (fs *FS) Export(dir string) error {
 		}
 		return nil
 	})
+}
+
+// exportPath joins a slash-separated file name onto the output directory,
+// rejecting names that would escape it (absolute paths or ".." traversal).
+// Corpus names come from ImportDir, generators or pack indexes; a crafted
+// name like "../x" must fail loudly instead of writing outside dir.
+func exportPath(dir, name string) (string, error) {
+	clean := filepath.Clean(filepath.FromSlash(name))
+	sep := string(filepath.Separator)
+	if filepath.IsAbs(clean) || clean == ".." || strings.HasPrefix(clean, ".."+sep) {
+		return "", fmt.Errorf("vfs: export: file name %q escapes output directory", name)
+	}
+	return filepath.Join(dir, clean), nil
 }
 
 // ImportDir loads every regular file under dir on the real file system into

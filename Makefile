@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench bench-smoke bench-pack clean
+.PHONY: all build test verify verify-quick bench bench-smoke bench-pack clean
 
 all: build
 
@@ -20,6 +20,12 @@ test:
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# verify-quick is the inner-loop gate: a full build plus the suite without
+# the race detector. Minutes faster than verify; run verify before pushing.
+verify-quick:
+	$(GO) build ./...
+	$(GO) test ./...
 
 # bench regenerates BENCH.json, the committed record of the acceptance
 # numbers (indexed packers vs linear references, tokenizer allocations,

@@ -11,17 +11,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/binpack"
+	"repro/internal/cli"
 	"repro/internal/corpus"
 	"repro/internal/packstore"
+	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
@@ -36,10 +41,21 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// CancelLatency records how quickly a cancelled fan-out returns: the
+// wall-clock time from cancel() to ForEachCtx returning, over a pool
+// mid-way through a large task list.
+type CancelLatency struct {
+	Tasks  int     `json:"tasks"`
+	Rounds int     `json:"rounds"`
+	MeanNs float64 `json:"mean_ns"`
+	MaxNs  float64 `json:"max_ns"`
+}
+
 // Output is the BENCH.json schema.
 type Output struct {
-	Results []Result           `json:"results"`
-	Ratios  map[string]float64 `json:"ratios"`
+	Results       []Result           `json:"results"`
+	Ratios        map[string]float64 `json:"ratios"`
+	CancelLatency CancelLatency      `json:"cancel_latency"`
 }
 
 func benchItems(n int) []binpack.Item {
@@ -117,19 +133,72 @@ func packAccessBench(baseDir string, n int) func(b *testing.B) {
 	}
 }
 
+// measureCancelLatency times the gap between cancelling a mid-flight
+// 10k-task ForEachCtx and the fan-out returning. Each task does a small
+// fixed unit of work, cancel fires once a fixed number of tasks have
+// started, and the reported latency is cancel()-to-return: the cost of
+// every in-flight task draining plus the workers observing the stop.
+func measureCancelLatency(rounds int) CancelLatency {
+	const tasks = 10_000
+	var sink atomic.Int64
+	lat := CancelLatency{Tasks: tasks}
+	retries := 10 * rounds
+	for r := 0; r < rounds; r++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int64
+		release := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			done <- par.Default().ForEachCtx(ctx, tasks, func(i int) error {
+				if started.Add(1) == 64 {
+					close(release)
+				}
+				s := int64(0)
+				for j := 0; j < 2_000; j++ {
+					s += int64(i ^ j)
+				}
+				sink.Add(s)
+				return nil
+			})
+		}()
+		<-release
+		t0 := time.Now()
+		cancel()
+		err := <-done
+		ns := float64(time.Since(t0).Nanoseconds())
+		if err == nil {
+			// The pool outran the cancel; this round measured nothing.
+			if retries--; retries > 0 {
+				r--
+			}
+			continue
+		}
+		lat.Rounds++
+		lat.MeanNs += ns
+		if ns > lat.MaxNs {
+			lat.MaxNs = ns
+		}
+	}
+	if lat.Rounds > 0 {
+		lat.MeanNs /= float64(lat.Rounds)
+	}
+	return lat
+}
+
 func main() {
 	out := flag.String("out", "BENCH.json", "output path for the JSON report")
 	flag.Parse()
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	items := benchItems(10_000)
 	text := func() []byte {
 		g := corpus.NewGenerator(corpus.NewsStyle(), 5)
 		return g.Text(100_000)
 	}()
-	contentFS, err := corpus.GenerateWithContentEager(corpus.Text400K(0.0005), 8, 0)
+	contentFS, err := corpus.GenerateWithContentEagerCtx(ctx, corpus.Text400K(0.0005), 8, 0)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	var o Output
@@ -181,8 +250,7 @@ func main() {
 	// 32x larger pack must not cost more.
 	packDir, err := os.MkdirTemp("", "bench-packstore")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer os.RemoveAll(packDir)
 	add(run("PackExport200Files", func(b *testing.B) {
@@ -195,9 +263,8 @@ func main() {
 		}
 	}))
 	shardDir := filepath.Join(packDir, "fixed")
-	if _, err := contentFS.ExportPack(shardDir, vfs.PackOptions{ShardSize: 8 << 20}); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+	if _, err := contentFS.ExportPackCtx(ctx, shardDir, vfs.PackOptions{ShardSize: 8 << 20}); err != nil {
+		fatal(err)
 	}
 	add(run("PackImportChecksum200Files", func(b *testing.B) {
 		b.ReportAllocs()
@@ -233,6 +300,13 @@ func main() {
 	add(run("PackRandomAccess1of64", packAccessBench(packDir, 64)))
 	add(run("PackRandomAccess1of2048", packAccessBench(packDir, 2048)))
 
+	// Cancellation responsiveness: how long a mid-flight 10k-task fan-out
+	// takes to return once cancelled. Not a ratio — an absolute latency the
+	// interactive commands (Ctrl-C) are held to.
+	o.CancelLatency = measureCancelLatency(20)
+	fmt.Printf("%-32s %12.0f ns mean %12.0f ns max (cancel -> return, %d tasks)\n",
+		"CancelLatency", o.CancelLatency.MeanNs, o.CancelLatency.MaxNs, o.CancelLatency.Tasks)
+
 	byName := make(map[string]Result, len(o.Results))
 	for _, r := range o.Results {
 		byName[r.Name] = r
@@ -247,15 +321,17 @@ func main() {
 
 	data, err := json.MarshalIndent(o, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear, pack access 2048/64 %.2fx)\n",
 		*out, o.Ratios["firstfit_speedup_vs_linear"], o.Ratios["subsetsum_speedup_vs_linear"],
 		o.Ratios["pack_random_access_2048_over_64"])
+}
+
+func fatal(err error) {
+	cli.Fatal("bench", err)
 }

@@ -13,10 +13,13 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/corpus"
 )
 
 func main() {
+	ctx, stop := cli.SignalContext()
+	defer stop()
 	var (
 		specName = flag.String("spec", "text", "corpus spec: html or text")
 		scale    = flag.Float64("scale", 0.001, "scale vs the paper's corpus (1.0 = full)")
@@ -55,17 +58,16 @@ func main() {
 		return
 	}
 
-	fs, err := corpus.GenerateWithContent(spec, *seed)
+	fs, err := corpus.GenerateWithContentEagerCtx(ctx, spec, *seed, 0)
 	if err != nil {
 		fatal(err)
 	}
-	if err := fs.Export(*outDir); err != nil {
+	if err := fs.ExportCtx(ctx, *outDir); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d files (%d bytes) under %s\n", fs.Len(), fs.TotalSize(), *outDir)
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "corpusgen:", err)
-	os.Exit(1)
+	cli.Fatal("corpusgen", err)
 }

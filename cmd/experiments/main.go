@@ -14,10 +14,13 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
 func main() {
+	ctx, stop := cli.SignalContext()
+	defer stop()
 	var (
 		runID  = flag.String("run", "all", "experiment ID to run, or 'all'")
 		seed   = flag.Int64("seed", 2011, "root random seed")
@@ -45,13 +48,12 @@ func main() {
 		}
 	}
 	if *runID == "all" {
-		reports, err := experiments.RunAll(cfg)
+		reports, err := experiments.RunAllCtx(ctx, cfg)
 		for _, rep := range reports {
 			emit(rep)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			cli.Fatal("experiments", err)
 		}
 		return
 	}
@@ -62,8 +64,7 @@ func main() {
 	}
 	rep, err := driver(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		cli.Fatal("experiments", err)
 	}
 	emit(rep)
 }

@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/vfs"
@@ -25,6 +26,8 @@ import (
 )
 
 func main() {
+	ctx, stop := cli.SignalContext()
+	defer stop()
 	var (
 		appName  = flag.String("app", "grep", "application: grep or pos")
 		specName = flag.String("spec", "text", "synthetic corpus: html or text (ignored with -dir)")
@@ -67,7 +70,7 @@ func main() {
 		// Packed corpora read through shared per-shard handles; keep them
 		// open for the run.
 		var closer interface{ Close() error }
-		fs, closer, err = vfs.ImportPack(strings.Split(*packs, ",")...)
+		fs, closer, err = vfs.ImportPackCtx(ctx, strings.Split(*packs, ",")...)
 		if err == nil {
 			defer closer.Close()
 		}
@@ -113,7 +116,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := p.Run(fs)
+	res, err := p.RunCtx(ctx, fs)
 	if err != nil {
 		fatal(err)
 	}
@@ -134,7 +137,7 @@ func main() {
 	if !*execute {
 		return
 	}
-	out, err := p.Execute(res)
+	out, err := p.ExecuteCtx(ctx, res)
 	if err != nil {
 		fatal(err)
 	}
@@ -159,6 +162,5 @@ func pickS0(fs *vfs.FS) int64 {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pipeline:", err)
-	os.Exit(1)
+	cli.Fatal("pipeline", err)
 }

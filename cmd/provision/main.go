@@ -20,13 +20,17 @@ import (
 	"os"
 
 	"repro/internal/binpack"
+	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/errs"
 	"repro/internal/perfmodel"
 	"repro/internal/provision"
 	"repro/internal/vfs"
 )
 
 func main() {
+	ctx, stop := cli.SignalContext()
+	defer stop()
 	var (
 		volume    = flag.Float64("volume", 0, "total data volume in bytes (or use -dir)")
 		dir       = flag.String("dir", "", "directory whose file sizes define the workload")
@@ -61,6 +65,13 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "provision: provide -volume or -dir")
 		os.Exit(2)
+	}
+
+	// Planning itself is fast; the cancellable part is the workload import
+	// above. One check here keeps a Ctrl-C during a large -dir walk from
+	// silently producing a plan for a half-read corpus.
+	if cerr := errs.FromContext(ctx); cerr != nil {
+		fatal(errs.Stage("planning", cerr))
 	}
 
 	model := affine(*slope, *intercept)
@@ -132,6 +143,5 @@ func affine(a, b float64) *perfmodel.Affine {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "provision:", err)
-	os.Exit(1)
+	cli.Fatal("provision", err)
 }

@@ -21,11 +21,14 @@ import (
 	"os"
 
 	"repro/internal/binpack"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/vfs"
 )
 
 func main() {
+	ctx, stop := cli.SignalContext()
+	defer stop()
 	var (
 		inDir   = flag.String("in", "", "input directory of small files (required)")
 		outDir  = flag.String("out", "", "output directory for unit files")
@@ -54,7 +57,7 @@ func main() {
 	}
 	fmt.Printf("input: %d files, %d bytes\n", fs.Len(), fs.TotalSize())
 
-	merged, bins, err := core.Reshape(fs, *unit, *prefix)
+	merged, bins, err := core.ReshapeCtx(ctx, fs, *unit, *prefix)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,7 +71,7 @@ func main() {
 		return
 	}
 	if *pack {
-		paths, err := merged.ExportPack(*outDir, vfs.PackOptions{
+		paths, err := merged.ExportPackCtx(ctx, *outDir, vfs.PackOptions{
 			Prefix:    *prefix,
 			ShardSize: *shard,
 			Workers:   *workers,
@@ -78,16 +81,16 @@ func main() {
 		}
 		fmt.Printf("wrote %d unit files into %d pack shard(s) in %s\n", merged.Len(), len(paths), *outDir)
 		if *verify {
-			want, err := vfs.CombinedChecksum(merged)
+			want, err := vfs.CombinedChecksumCtx(ctx, merged)
 			if err != nil {
 				fatal(err)
 			}
-			imported, closer, err := vfs.ImportPack(*outDir)
+			imported, closer, err := vfs.ImportPackCtx(ctx, *outDir)
 			if err != nil {
 				fatal(err)
 			}
 			defer closer.Close()
-			got, err := vfs.CombinedChecksum(imported)
+			got, err := vfs.CombinedChecksumCtx(ctx, imported)
 			if err != nil {
 				fatal(err)
 			}
@@ -97,7 +100,7 @@ func main() {
 			fmt.Printf("verified: %d members round-trip bit-identically (checksum %x)\n", imported.Len(), got)
 		}
 	} else {
-		if err := merged.Export(*outDir); err != nil {
+		if err := merged.ExportCtx(ctx, *outDir); err != nil {
 			fatal(err)
 		}
 	}
@@ -119,6 +122,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "reshape:", err)
-	os.Exit(1)
+	cli.Fatal("reshape", err)
 }

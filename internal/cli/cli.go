@@ -1,0 +1,47 @@
+// Package cli holds the small pieces shared by every command: a root
+// context cancelled on SIGINT/SIGTERM, and a fatal-error printer that
+// turns the typed cancellation errors from internal/errs into a one-line
+// "cancelled after stage X" diagnostic instead of a raw error dump.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/errs"
+)
+
+// SignalContext returns a root context that is cancelled on SIGINT or
+// SIGTERM, plus the stop function releasing the signal registration.
+// Commands call this first thing in main and thread the context through
+// every Ctx-accepting layer; a second signal during shutdown falls back
+// to the default handler (immediate termination).
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Fatal prints the error prefixed with the program name and exits
+// non-zero. Cancellations (interrupt or deadline) render as a single
+// line naming the last stage reached — "cancelled after stage X" — with
+// exit code 130 (the shell convention for SIGINT); everything else
+// prints the full error chain and exits 1.
+func Fatal(prog string, err error) {
+	if errs.IsCancellation(err) {
+		kind := "cancelled"
+		if errors.Is(err, errs.ErrDeadline) {
+			kind = "deadline exceeded"
+		}
+		if stage := errs.StageOf(err); stage != "" {
+			fmt.Fprintf(os.Stderr, "%s: %s after stage %s\n", prog, kind, stage)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", prog, kind)
+		}
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	os.Exit(1)
+}

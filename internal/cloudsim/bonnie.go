@@ -1,8 +1,11 @@
 package cloudsim
 
 import (
+	"context"
 	"fmt"
 	"time"
+
+	"repro/internal/errs"
 )
 
 // BonnieResult is one run of the bonnie++-style storage micro-benchmark the
@@ -47,10 +50,21 @@ func (c *Cloud) RunBonnie(in *Instance) (BonnieResult, error) {
 // consistent numbers. maxAttempts bounds the loop. It returns the
 // qualified instance and the number of instances tried.
 func (c *Cloud) AcquireQualified(t InstanceType, zone string, maxAttempts int) (*Instance, int, error) {
+	return c.AcquireQualifiedCtx(context.Background(), t, zone, maxAttempts)
+}
+
+// AcquireQualifiedCtx is AcquireQualified with cancellation, checked
+// before each launch attempt: an abort mid-loop returns the typed
+// cancellation error without leaking a running instance (the instance
+// from the previous failed attempt was already terminated).
+func (c *Cloud) AcquireQualifiedCtx(ctx context.Context, t InstanceType, zone string, maxAttempts int) (*Instance, int, error) {
 	if maxAttempts <= 0 {
 		maxAttempts = 10
 	}
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if cerr := errs.FromContext(ctx); cerr != nil {
+			return nil, attempt - 1, cerr
+		}
 		in, err := c.Launch(t, zone)
 		if err != nil {
 			return nil, attempt, err

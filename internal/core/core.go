@@ -14,11 +14,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/binpack"
 	"repro/internal/cloudsim"
 	"repro/internal/corpus"
+	"repro/internal/errs"
 	"repro/internal/perfmodel"
 	"repro/internal/probe"
 	"repro/internal/provision"
@@ -169,10 +172,10 @@ type Pipeline struct {
 // New creates a pipeline with its own simulated cloud.
 func New(cfg Config) (*Pipeline, error) {
 	if cfg.App == nil {
-		return nil, fmt.Errorf("core: Config.App is required")
+		return nil, errs.Invalid("core: Config.App is required")
 	}
 	if cfg.DeadlineSeconds <= 0 {
-		return nil, fmt.Errorf("core: Config.DeadlineSeconds must be positive")
+		return nil, errs.Invalid("core: Config.DeadlineSeconds must be positive")
 	}
 	cfg.fillDefaults()
 	return &Pipeline{Cloud: cloudsim.New(cfg.Seed), Config: cfg}, nil
@@ -190,7 +193,18 @@ func ItemsFromFS(fs *vfs.FS) []binpack.Item {
 
 // Run executes the full pipeline over a uniform-complexity corpus.
 func (p *Pipeline) Run(corpusFS *vfs.FS) (*Result, error) {
-	return p.run(corpusFS, nil)
+	return p.RunCtx(context.Background(), corpusFS)
+}
+
+// RunCtx is Run with cancellation and a deadline. When
+// Config.DeadlineSeconds is set, it also arms a real wall-clock
+// context.WithTimeout over the whole run: a pipeline that cannot even
+// finish its measurement phase inside the user deadline D has no plan
+// worth executing. The returned error identifies the interrupted stage
+// (errs.StageOf) and satisfies errors.Is against errs.ErrCancelled or
+// errs.ErrDeadline.
+func (p *Pipeline) RunCtx(ctx context.Context, corpusFS *vfs.FS) (*Result, error) {
+	return p.run(ctx, corpusFS, nil)
 }
 
 // RunProfile executes the pipeline over a heterogeneous-complexity corpus:
@@ -199,23 +213,38 @@ func (p *Pipeline) Run(corpusFS *vfs.FS) (*Result, error) {
 // closing observation). The profile's complexity map keys must match the
 // corpus file names.
 func (p *Pipeline) RunProfile(profile *corpus.Profile) (*Result, error) {
-	if profile == nil || profile.FS == nil {
-		return nil, fmt.Errorf("core: nil profile")
-	}
-	return p.run(profile.FS, profile.Complexity)
+	return p.RunProfileCtx(context.Background(), profile)
 }
 
-func (p *Pipeline) run(corpusFS *vfs.FS, complexity map[string]float64) (*Result, error) {
+// RunProfileCtx is RunProfile with cancellation and the same armed
+// deadline as RunCtx.
+func (p *Pipeline) RunProfileCtx(ctx context.Context, profile *corpus.Profile) (*Result, error) {
+	if profile == nil || profile.FS == nil {
+		return nil, errs.Invalid("core: nil profile")
+	}
+	return p.run(ctx, profile.FS, profile.Complexity)
+}
+
+func (p *Pipeline) run(ctx context.Context, corpusFS *vfs.FS, complexity map[string]float64) (*Result, error) {
+	if p.Config.DeadlineSeconds > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx,
+			time.Duration(p.Config.DeadlineSeconds*float64(time.Second)))
+		defer cancel()
+	}
 	items := ItemsFromFS(corpusFS)
 	if len(items) == 0 {
-		return nil, fmt.Errorf("core: empty corpus")
+		return nil, errs.Invalid("core: empty corpus")
 	}
 	res := &Result{Complexity: complexity}
 
 	// Stage 1: qualified instance (§4).
-	in, attempts, err := p.Cloud.AcquireQualified(cloudsim.Small, p.Config.Zone, 50)
+	if cerr := errs.FromContext(ctx); cerr != nil {
+		return nil, errs.Stage("qualification", cerr)
+	}
+	in, attempts, err := p.Cloud.AcquireQualifiedCtx(ctx, cloudsim.Small, p.Config.Zone, 50)
 	if err != nil {
-		return nil, fmt.Errorf("core: qualification: %w", err)
+		return nil, errs.Stage("qualification", err)
 	}
 	res.Instance = in
 	res.QualificationAttempts = attempts
@@ -233,29 +262,36 @@ func (p *Pipeline) run(corpusFS *vfs.FS, complexity map[string]float64) (*Result
 		MinSets:       3, // the regression needs multiple volumes
 		Complexity:    complexity,
 	}
-	probeRes, err := protocol.Run(items)
+	probeRes, err := protocol.RunCtx(ctx, items)
 	if err != nil {
-		return nil, fmt.Errorf("core: probing: %w", err)
+		return nil, errs.Stage("probing", err)
 	}
 	if len(probeRes.Sets) == 0 {
-		return nil, fmt.Errorf("core: probing produced no measurements")
+		return nil, errs.Stage("probing", fmt.Errorf("core: probing produced no measurements"))
 	}
 	res.ProbeSets = probeRes.Sets
 
 	// Stage 3: preferred unit size from the most stable (last) probe set.
+	if cerr := errs.FromContext(ctx); cerr != nil {
+		return nil, errs.Stage("unit-selection", cerr)
+	}
 	last := probeRes.Sets[len(probeRes.Sets)-1]
 	unit, err := probe.PickPreferredUnit(last, p.Config.PlateauTol)
 	if err != nil {
-		return nil, fmt.Errorf("core: unit selection: %w", err)
+		return nil, errs.Stage("unit-selection", err)
 	}
 	res.PreferredUnit = unit
 
 	// Stage 4: fit models on the preferred unit's measurements (§5). Every
 	// individual run is a calibration point — the repeats carry the
 	// residual spread the §5.2 deadline adjustment needs.
+	if cerr := errs.FromContext(ctx); cerr != nil {
+		return nil, errs.Stage("model-fitting", cerr)
+	}
 	xs, ys := probe.AllRunsPoints(probeRes.Sets, unit)
 	if len(xs) < 2 {
-		return nil, fmt.Errorf("core: only %d calibration points at unit %d", len(xs), unit)
+		return nil, errs.Stage("model-fitting",
+			fmt.Errorf("core: only %d calibration points at unit %d", len(xs), unit))
 	}
 	res.Candidates = perfmodel.FitAll(xs, ys)
 	var model perfmodel.Model
@@ -267,19 +303,19 @@ func (p *Pipeline) run(corpusFS *vfs.FS, complexity map[string]float64) (*Result
 		}
 		m, _, err := perfmodel.SelectByCV(xs, ys, k)
 		if err != nil {
-			return nil, fmt.Errorf("core: cross-validated fitting: %w", err)
+			return nil, errs.Stage("model-fitting", err)
 		}
 		model = m
 	case FitWeighted:
 		m, err := perfmodel.FitAffineWeighted(xs, ys, perfmodel.VolumeWeights(xs, 1))
 		if err != nil {
-			return nil, fmt.Errorf("core: weighted fitting: %w", err)
+			return nil, errs.Stage("model-fitting", err)
 		}
 		model = m
 	default:
 		m, err := perfmodel.Best(res.Candidates)
 		if err != nil {
-			return nil, fmt.Errorf("core: model fitting: %w", err)
+			return nil, errs.Stage("model-fitting", err)
 		}
 		model = m
 	}
@@ -290,14 +326,17 @@ func (p *Pipeline) run(corpusFS *vfs.FS, complexity map[string]float64) (*Result
 	}
 
 	// Stage 5: reshape the full corpus at the preferred unit size.
+	if cerr := errs.FromContext(ctx); cerr != nil {
+		return nil, errs.Stage("reshaping", cerr)
+	}
 	planItems := items
 	if unit > 0 {
 		bins, err := binpack.SubsetSumFirstFit(items, unit)
 		if err != nil {
-			return nil, fmt.Errorf("core: reshaping: %w", err)
+			return nil, errs.Stage("reshaping", err)
 		}
 		if err := binpack.Verify(items, bins); err != nil {
-			return nil, fmt.Errorf("core: reshaping invariant: %w", err)
+			return nil, errs.Stage("reshaping", fmt.Errorf("core: reshaping invariant: %w", err))
 		}
 		res.ReshapedBins = bins
 		planItems = make([]binpack.Item, 0, len(bins))
@@ -310,10 +349,16 @@ func (p *Pipeline) run(corpusFS *vfs.FS, complexity map[string]float64) (*Result
 	}
 
 	// Stage 6: provisioning plan with the adjusted-deadline strategy (§5.2).
+	// The context check here is the last gate before the plan exists: a run
+	// whose deadline already expired must abort before producing (and
+	// certainly before executing) a plan.
+	if cerr := errs.FromContext(ctx); cerr != nil {
+		return nil, errs.Stage("planning", cerr)
+	}
 	planner := &provision.Planner{Model: model, Rate: p.Config.Rate, MaxInstances: p.Config.MaxInstances}
 	plan, err := planner.PlanAdjusted(planItems, p.Config.DeadlineSeconds, res.Adjustment)
 	if err != nil {
-		return nil, fmt.Errorf("core: planning: %w", err)
+		return nil, errs.Stage("planning", err)
 	}
 	res.Plan = plan
 	return res, nil
@@ -322,8 +367,14 @@ func (p *Pipeline) run(corpusFS *vfs.FS, complexity map[string]float64) (*Result
 // Execute runs the result's plan on the pipeline's cloud (stage 7).
 // Profiled runs execute at the corpus's size-weighted mean complexity.
 func (p *Pipeline) Execute(res *Result) (*provision.Outcome, error) {
+	return p.ExecuteCtx(context.Background(), res)
+}
+
+// ExecuteCtx is Execute with cancellation, threaded through the per-bin
+// launch/estimate loop.
+func (p *Pipeline) ExecuteCtx(ctx context.Context, res *Result) (*provision.Outcome, error) {
 	if res == nil || res.Plan == nil {
-		return nil, fmt.Errorf("core: no plan to execute")
+		return nil, errs.Invalid("core: no plan to execute")
 	}
 	complexity := 1.0
 	if res.Complexity != nil {
@@ -339,7 +390,7 @@ func (p *Pipeline) Execute(res *Result) (*provision.Outcome, error) {
 		}
 		complexity = res.MeanComplexity(flat)
 	}
-	return provision.Execute(p.Cloud, res.Plan, provision.ExecuteOptions{
+	return provision.ExecuteCtx(ctx, p.Cloud, res.Plan, provision.ExecuteOptions{
 		App:        p.Config.App,
 		Zone:       p.Config.Zone,
 		Complexity: complexity,
@@ -353,8 +404,15 @@ func (p *Pipeline) Execute(res *Result) (*provision.Outcome, error) {
 // produce content-backed unit files whose bytes are exactly the members'
 // bytes in order.
 func Reshape(in *vfs.FS, unitSize int64, unitPrefix string) (*vfs.FS, []*binpack.Bin, error) {
+	return ReshapeCtx(context.Background(), in, unitSize, unitPrefix)
+}
+
+// ReshapeCtx is Reshape with cancellation, checked between unit-file
+// assemblies; the input FS is never mutated, so an aborted reshape
+// leaves nothing to clean up.
+func ReshapeCtx(ctx context.Context, in *vfs.FS, unitSize int64, unitPrefix string) (*vfs.FS, []*binpack.Bin, error) {
 	if unitSize <= 0 {
-		return nil, nil, fmt.Errorf("core: unit size must be positive, got %d", unitSize)
+		return nil, nil, errs.Invalid("core: unit size must be positive, got %d", unitSize)
 	}
 	if unitPrefix == "" {
 		unitPrefix = "unit"
@@ -369,6 +427,9 @@ func Reshape(in *vfs.FS, unitSize int64, unitPrefix string) (*vfs.FS, []*binpack
 	}
 	out := vfs.NewFS()
 	for i, b := range bins {
+		if cerr := errs.FromContext(ctx); cerr != nil {
+			return nil, nil, errs.Stage("reshaping", cerr)
+		}
 		members := make([]vfs.File, 0, len(b.Items))
 		for _, it := range b.Items {
 			f, err := in.Get(it.ID)

@@ -12,6 +12,7 @@ package corpus
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -165,6 +166,14 @@ func GenerateWithContent(spec Spec, seed int64) (*vfs.FS, error) {
 // for benchmark and experiment corpora that will be read many times:
 // repeated opens become memory reads instead of regeneration.
 func GenerateWithContentEager(spec Spec, seed int64, workers int) (*vfs.FS, error) {
+	return GenerateWithContentEagerCtx(context.Background(), spec, seed, workers)
+}
+
+// GenerateWithContentEagerCtx is GenerateWithContentEager with
+// cancellation: per-file materialisation stops once ctx is done and the
+// call returns a typed cancellation error. A run that completes is
+// byte-identical to the non-ctx form at any worker count.
+func GenerateWithContentEagerCtx(ctx context.Context, spec Spec, seed int64, workers int) (*vfs.FS, error) {
 	names := make([]string, spec.NumFiles)
 	sizes := make([]int64, spec.NumFiles)
 	r := stats.NewRand(seed, "corpus-sizes-"+spec.Name)
@@ -173,7 +182,7 @@ func GenerateWithContentEager(spec Spec, seed int64, workers int) (*vfs.FS, erro
 		sizes[i] = spec.Sizes.Sample(r)
 	}
 	contents := make([][]byte, spec.NumFiles)
-	err := par.New(workers).ForEach(spec.NumFiles, func(i int) error {
+	err := par.New(workers).ForEachCtx(ctx, spec.NumFiles, func(i int) error {
 		g := NewGenerator(spec.Style, stats.SeedFor(seed, "content-"+names[i]))
 		if spec.HTML {
 			contents[i] = g.HTML(int(sizes[i]))

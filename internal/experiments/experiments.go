@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -155,15 +156,30 @@ func Lookup(id string) (Driver, bool) {
 // registry prefix before the first (by registry order) failing driver are
 // returned alongside its error.
 func RunAll(cfg Config) ([]*Report, error) {
-	return RunAllWorkers(cfg, 0)
+	return RunAllWorkersCtx(context.Background(), cfg, 0)
+}
+
+// RunAllCtx is RunAll with cancellation: no new driver starts once ctx
+// is done, and the call returns the typed cancellation error.
+func RunAllCtx(ctx context.Context, cfg Config) ([]*Report, error) {
+	return RunAllWorkersCtx(ctx, cfg, 0)
 }
 
 // RunAllWorkers is RunAll with an explicit worker count (0 or negative
 // means GOMAXPROCS); workers=1 is the serial reference.
 func RunAllWorkers(cfg Config, workers int) ([]*Report, error) {
+	return RunAllWorkersCtx(context.Background(), cfg, workers)
+}
+
+// RunAllWorkersCtx is the cancellable, worker-bounded form the other
+// variants delegate to. Driver failures keep the serial error contract
+// (first failure in registry order, with the completed prefix); a
+// cancellation with no driver failure returns the fan-out's typed
+// cancellation error and no reports.
+func RunAllWorkersCtx(ctx context.Context, cfg Config, workers int) ([]*Report, error) {
 	reps := make([]*Report, len(Registry))
 	errs := make([]error, len(Registry))
-	par.New(workers).ForEach(len(Registry), func(i int) error {
+	ferr := par.New(workers).ForEachCtx(ctx, len(Registry), func(i int) error {
 		reps[i], errs[i] = Registry[i].Driver(cfg)
 		return nil
 	})
@@ -173,6 +189,9 @@ func RunAllWorkers(cfg Config, workers int) ([]*Report, error) {
 			return reports, fmt.Errorf("experiments: %s: %w", e.ID, errs[i])
 		}
 		reports = append(reports, reps[i])
+	}
+	if ferr != nil {
+		return nil, ferr
 	}
 	return reports, nil
 }

@@ -42,6 +42,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"repro/internal/errs"
 )
 
 // Format constants. Changing any of these is a format break.
@@ -130,11 +132,11 @@ func (w *Writer) DataSize() int64 {
 func checkName(name string) error {
 	switch {
 	case name == "":
-		return fmt.Errorf("packstore: empty member name")
+		return errs.Invalid("packstore: empty member name")
 	case len(name) >= MaxNameLen:
-		return fmt.Errorf("packstore: member name %.40q... exceeds %d bytes", name, MaxNameLen)
+		return errs.Invalid("packstore: member name %.40q... exceeds %d bytes", name, MaxNameLen)
 	case strings.ContainsRune(name, 0):
-		return fmt.Errorf("packstore: member name %q contains NUL", name)
+		return errs.Invalid("packstore: member name %q contains NUL", name)
 	}
 	return nil
 }
@@ -153,10 +155,10 @@ func (w *Writer) Append(name string, size int64, r io.Reader) error {
 		return err
 	}
 	if _, dup := w.names[name]; dup {
-		return fmt.Errorf("packstore: duplicate member %q", name)
+		return errs.Invalid("packstore: duplicate member %q", name)
 	}
 	if size < 0 {
-		return fmt.Errorf("packstore: member %q has negative size %d", name, size)
+		return errs.Invalid("packstore: member %q has negative size %d", name, size)
 	}
 	// Record prefix: magic, nameLen, size.
 	b := w.buf[:]
@@ -176,13 +178,13 @@ func (w *Writer) Append(name string, size int64, r io.Reader) error {
 		return w.fail(fmt.Errorf("packstore: member %q: %w", name, err))
 	}
 	if n != size {
-		return w.fail(fmt.Errorf("packstore: member %q declared %d bytes but content has %d", name, size, n))
+		return w.fail(errs.Corrupt("packstore: member %q declared %d bytes but content has %d", name, size, n))
 	}
 	// The source must be exhausted: extra bytes are as corrupt as missing
 	// ones (mirrors vfs.ReadInto).
 	var probe [1]byte
 	if m, _ := r.Read(probe[:]); m > 0 {
-		return w.fail(fmt.Errorf("packstore: member %q declared %d bytes but content has more", name, size))
+		return w.fail(errs.Corrupt("packstore: member %q declared %d bytes but content has more", name, size))
 	}
 	var sum [checksumLen]byte
 	binary.LittleEndian.PutUint64(sum[:], h.Sum64())

@@ -2,12 +2,15 @@ package packstore
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/errs"
 )
 
 // testMembers builds a deterministic member set with varied sizes,
@@ -205,7 +208,11 @@ func TestCorruptPayloadCaughtByVerify(t *testing.T) {
 		if err == nil {
 			t.Fatalf("Verify(%d) missed a flipped payload byte", workers)
 		}
-		if !strings.Contains(err.Error(), victim.Name) {
+		if !errors.Is(err, errs.ErrCorrupt) {
+			t.Fatalf("Verify(%d): errors.Is(err, ErrCorrupt) = false: %v", workers, err)
+		}
+		var se *errs.StageError
+		if !errors.As(err, &se) || se.File != victim.Name {
 			t.Fatalf("Verify(%d) blamed the wrong member: %v", workers, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package packstore
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -9,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/errs"
 	"repro/internal/par"
 )
 
@@ -64,7 +66,7 @@ func openStrict(f *os.File, path string) (*Pack, error) {
 		return nil, fmt.Errorf("packstore: %s: reading footer: %w", path, err)
 	}
 	if string(footer[32:]) != footerMagic {
-		return nil, fmt.Errorf("packstore: %s: bad footer magic (truncated or unfinalised pack; try Recover)", path)
+		return nil, errs.Corrupt("packstore: %s: bad footer magic (truncated or unfinalised pack; try Recover)", path)
 	}
 	indexOff := int64(binary.LittleEndian.Uint64(footer[0:]))
 	indexLen := int64(binary.LittleEndian.Uint64(footer[8:]))
@@ -81,7 +83,7 @@ func openStrict(f *os.File, path string) (*Pack, error) {
 	h := fnv.New64a()
 	h.Write(index)
 	if h.Sum64() != indexSum {
-		return nil, fmt.Errorf("packstore: %s: index checksum %x != footer %x (corrupt index; try Recover)",
+		return nil, errs.Corrupt("packstore: %s: index checksum %x != footer %x (corrupt index; try Recover)",
 			path, h.Sum64(), indexSum)
 	}
 	members, err := decodeIndex(index, count, indexOff)
@@ -151,6 +153,12 @@ func newPack(path string, ra io.ReaderAt, closer io.Closer, size int64, members 
 // guarantee that a crash mid-append loses at most the member being
 // written. A pack recovered from a damaged tail reports Truncated().
 func Recover(path string) (*Pack, error) {
+	return RecoverCtx(context.Background(), path)
+}
+
+// RecoverCtx is Recover with cancellation, threaded through the salvage
+// verification passes (the expensive part of recovery on a large pack).
+func RecoverCtx(ctx context.Context, path string) (*Pack, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("packstore: recover: %w", err)
@@ -186,7 +194,11 @@ func Recover(path string) (*Pack, error) {
 	// Salvage means intact: verify every salvaged payload. A bad final
 	// member is the crash tail — drop it; a bad earlier member is
 	// corruption, not truncation — surface it.
-	if err := p.Verify(0); err != nil {
+	if err := p.VerifyCtx(ctx, 0); err != nil {
+		if errs.IsCancellation(err) {
+			f.Close()
+			return nil, err
+		}
 		if len(members) == 0 {
 			f.Close()
 			return nil, err
@@ -209,7 +221,7 @@ func Recover(path string) (*Pack, error) {
 				f.Close()
 				return nil, err
 			}
-			if err := p.Verify(0); err != nil {
+			if err := p.VerifyCtx(ctx, 0); err != nil {
 				f.Close()
 				return nil, fmt.Errorf("packstore: recover %s: corruption beyond the tail: %w", path, err)
 			}
@@ -312,7 +324,7 @@ func (p *Pack) SectionReader(m Member) *io.SectionReader {
 func (p *Pack) Open(name string) (*io.SectionReader, error) {
 	m, ok := p.Lookup(name)
 	if !ok {
-		return nil, fmt.Errorf("packstore: %s: no member %q", p.path, name)
+		return nil, errs.NotFound("packstore: %s: no member %q", p.path, name)
 	}
 	return p.SectionReader(m), nil
 }
@@ -325,17 +337,21 @@ var verifyBufPool = sync.Pool{
 	},
 }
 
-// verifyMember streams one member's payload and compares checksums.
+// verifyMember streams one member's payload and compares checksums. A
+// mismatch comes back as a StageError (stage "verify", file = member
+// name) wrapping errs.ErrCorrupt, so callers identify the blamed member
+// with errors.As instead of parsing the message.
 func (p *Pack) verifyMember(m Member) error {
 	h := fnv.New64a()
 	bp := verifyBufPool.Get().(*[]byte)
 	_, err := io.CopyBuffer(h, p.SectionReader(m), *bp)
 	verifyBufPool.Put(bp)
 	if err != nil {
-		return fmt.Errorf("packstore: %s: verifying %q: %w", p.path, m.Name, err)
+		return errs.StageFile("verify", m.Name, fmt.Errorf("packstore: %s: %w", p.path, err))
 	}
 	if sum := h.Sum64(); sum != m.Checksum {
-		return fmt.Errorf("packstore: %s: member %q checksum %x != stored %x", p.path, m.Name, sum, m.Checksum)
+		return errs.StageFile("verify", m.Name,
+			errs.Corrupt("packstore: %s: checksum %x != stored %x", p.path, sum, m.Checksum))
 	}
 	return nil
 }
@@ -345,7 +361,14 @@ func (p *Pack) verifyMember(m Member) error {
 // reported error is the one from the first member in name order, so the
 // outcome is identical at any worker count.
 func (p *Pack) Verify(workers int) error {
-	return par.New(workers).ForEach(len(p.members), func(i int) error {
+	return p.VerifyCtx(context.Background(), workers)
+}
+
+// VerifyCtx is Verify with cancellation: member dispatch stops once ctx
+// is done and the call returns a typed cancellation error. A corruption
+// found before the abort still wins (task errors take precedence).
+func (p *Pack) VerifyCtx(ctx context.Context, workers int) error {
+	return par.New(workers).ForEachCtx(ctx, len(p.members), func(i int) error {
 		return p.verifyMember(p.members[i])
 	})
 }

@@ -1,11 +1,13 @@
 package packstore
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
 	"sort"
 
+	"repro/internal/errs"
 	"repro/internal/par"
 )
 
@@ -74,6 +76,17 @@ func (s *ShardWriter) Append(name string, size int64, r io.Reader) error {
 		}
 	}
 	return s.w.Append(name, size, r)
+}
+
+// AppendCtx is Append guarded by a context check: once ctx is done no
+// further member is started and the typed cancellation error is
+// returned. The shard on disk stays well-formed up to the last completed
+// append (Close still finalises it).
+func (s *ShardWriter) AppendCtx(ctx context.Context, name string, size int64, r io.Reader) error {
+	if cerr := errs.FromContext(ctx); cerr != nil {
+		return cerr
+	}
+	return s.Append(name, size, r)
 }
 
 // AppendBytes is Append over an in-memory payload.
@@ -154,6 +167,13 @@ func (s *Set) DataSize() int64 {
 // the first failing member in (pack, name) order, independent of worker
 // count.
 func (s *Set) Verify(workers int) error {
+	return s.VerifyCtx(context.Background(), workers)
+}
+
+// VerifyCtx is Verify with cancellation: the flattened (pack, member)
+// dispatch stops once ctx is done and the call returns a typed
+// cancellation error; a corruption found before the abort still wins.
+func (s *Set) VerifyCtx(ctx context.Context, workers int) error {
 	type slot struct {
 		p *Pack
 		m Member
@@ -164,7 +184,7 @@ func (s *Set) Verify(workers int) error {
 			flat = append(flat, slot{p, m})
 		}
 	}
-	return par.New(workers).ForEach(len(flat), func(i int) error {
+	return par.New(workers).ForEachCtx(ctx, len(flat), func(i int) error {
 		return flat[i].p.verifyMember(flat[i].m)
 	})
 }

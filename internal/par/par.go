@@ -14,11 +14,25 @@
 //   - tasks that need randomness derive a private seed from their index
 //     (see stats.SeedFor) instead of sharing a sequential stream.
 //
+// Error handling is fast-fail: once any task records an error, no new
+// indices are dispatched (in-flight tasks still run to completion), so
+// wasted work after an early failure is bounded by the worker count
+// instead of scaling with n. The reported error is still the one from the
+// lowest failing index: claims are issued in index order, so by the time
+// any failure is observed every lower index has already been claimed and
+// will finish — the lowest failing index always runs.
+//
+// The Ctx variants (ForEachCtx, MapCtx, SumChunksCtx) additionally stop
+// dispatching when the context is cancelled or its deadline expires,
+// returning ctx.Err() wrapped in *CancelledError. On success they are
+// bit-identical to the non-ctx forms at any worker count.
+//
 // Panics inside a task propagate and crash the process, as they would in
 // a serial loop.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -48,11 +62,19 @@ func Default() *Pool { return New(0) }
 func (p *Pool) Workers() int { return p.workers }
 
 // ForEach runs fn(i) for every i in [0, n), using up to Workers()
-// goroutines. fn is invoked exactly once per index regardless of errors;
-// the returned error is the one from the lowest failing index, so the
+// goroutines. Dispatch is fast-fail: after the first recorded error no
+// new indices are claimed, though tasks already in flight complete. The
+// returned error is the one from the lowest failing index, so the
 // outcome does not depend on scheduling. fn must confine its writes to
 // per-index state (or otherwise synchronise).
 func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	return p.forEach(nil, n, fn)
+}
+
+// forEach is the shared fan-out core. A nil ctx means "never cancelled"
+// (the non-ctx entry points); a non-nil ctx adds a cancellation check
+// before each claim and maps expiry to *CancelledError.
+func (p *Pool) forEach(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -61,34 +83,64 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 		w = n
 	}
 	if w <= 1 {
-		var first error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && first == nil {
-				first = err
+			if ctx != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return &CancelledError{Err: cerr}
+				}
+			}
+			if err := fn(i); err != nil {
+				return err
 			}
 		}
-		return first
+		return nil
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
+	var stop atomic.Bool
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if stop.Load() {
+					return
+				}
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				if err := fn(i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	// Lowest failing index wins. Claims are monotonic, so when any task
+	// observed a failure, every lower index had already been claimed and
+	// ran to completion — the minimum failing index is always present.
 	for _, err := range errs {
 		if err != nil {
 			return err
+		}
+	}
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return &CancelledError{Err: cerr}
 		}
 	}
 	return nil
@@ -119,6 +171,10 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 // is bit-identical to a serial accumulation at any worker count. The
 // returned error is the one from the lowest-index failing range.
 func (p *Pool) SumChunks(n int, chunk func(lo, hi int) (int64, error)) (int64, error) {
+	return p.sumChunks(nil, n, chunk)
+}
+
+func (p *Pool) sumChunks(ctx context.Context, n int, chunk func(lo, hi int) (int64, error)) (int64, error) {
 	if n <= 0 {
 		return 0, nil
 	}
@@ -127,6 +183,11 @@ func (p *Pool) SumChunks(n int, chunk func(lo, hi int) (int64, error)) (int64, e
 		w = n
 	}
 	if w <= 1 {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return 0, &CancelledError{Err: cerr}
+			}
+		}
 		return chunk(0, n)
 	}
 	step := (n + w - 1) / w
@@ -138,8 +199,14 @@ func (p *Pool) SumChunks(n int, chunk func(lo, hi int) (int64, error)) (int64, e
 		}
 		ranges = append(ranges, [2]int{lo, hi})
 	}
-	partials, err := Map(p, len(ranges), func(i int) (int64, error) {
-		return chunk(ranges[i][0], ranges[i][1])
+	partials := make([]int64, len(ranges))
+	err := p.forEach(ctx, len(ranges), func(i int) error {
+		v, err := chunk(ranges[i][0], ranges[i][1])
+		if err != nil {
+			return err
+		}
+		partials[i] = v
+		return nil
 	})
 	if err != nil {
 		return 0, err

@@ -7,12 +7,14 @@
 package probe
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/binpack"
 	"repro/internal/cloudsim"
+	"repro/internal/errs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -177,13 +179,24 @@ func NewHarness(c *cloudsim.Cloud, in *cloudsim.Instance, app workload.App, st w
 // RNG-free and fans out over the shared par pool without touching the
 // stream.
 func (h *Harness) MeasureProbe(volume, unitSize int64, items []workload.Item) (Measurement, error) {
+	return h.MeasureProbeCtx(context.Background(), volume, unitSize, items)
+}
+
+// MeasureProbeCtx is MeasureProbe with cancellation. The context is
+// checked between repeats — never inside one, and the repeats stay
+// strictly sequential, so a run that completes consumes exactly the RNG
+// draws and virtual time of the non-ctx form.
+func (h *Harness) MeasureProbeCtx(ctx context.Context, volume, unitSize int64, items []workload.Item) (Measurement, error) {
 	if len(items) == 0 {
 		return Measurement{}, fmt.Errorf("probe: empty probe")
 	}
 	key := h.DatasetKeyFn(volume, unitSize)
 	runs := make([]float64, 0, h.Repeats)
 	for i := 0; i < h.Repeats; i++ {
-		d, err := workload.Run(h.Cloud, h.Instance, h.App, items, h.Storage, key)
+		if cerr := errs.FromContext(ctx); cerr != nil {
+			return Measurement{}, cerr
+		}
+		d, err := workload.RunCtx(ctx, h.Cloud, h.Instance, h.App, items, h.Storage, key)
 		if err != nil {
 			return Measurement{}, err
 		}
@@ -203,14 +216,20 @@ func (h *Harness) MeasureProbe(volume, unitSize int64, items []workload.Item) (M
 // MeasureSet measures the original probe and every reshaped probe of a
 // set, in ascending unit order.
 func (h *Harness) MeasureSet(set *Set) ([]Measurement, error) {
+	return h.MeasureSetCtx(context.Background(), set)
+}
+
+// MeasureSetCtx is MeasureSet with cancellation, threaded through each
+// probe's measurement loop.
+func (h *Harness) MeasureSetCtx(ctx context.Context, set *Set) ([]Measurement, error) {
 	out := make([]Measurement, 0, len(set.ByUnit)+1)
-	m, err := h.MeasureProbe(set.Volume, 0, set.Original)
+	m, err := h.MeasureProbeCtx(ctx, set.Volume, 0, set.Original)
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, m)
 	for _, u := range set.UnitSizes() {
-		m, err := h.MeasureProbe(set.Volume, u, set.ByUnit[u])
+		m, err := h.MeasureProbeCtx(ctx, set.Volume, u, set.ByUnit[u])
 		if err != nil {
 			return nil, err
 		}
@@ -260,8 +279,15 @@ type Result struct {
 
 // Run escalates volume until the probe set is stable or MaxVolume is hit.
 func (p *Protocol) Run(files []binpack.Item) (*Result, error) {
+	return p.RunCtx(context.Background(), files)
+}
+
+// RunCtx is Run with cancellation: the context is checked before each
+// escalation (and between the repeats inside each probe), so an abort
+// lands within one measurement of the cancel.
+func (p *Protocol) RunCtx(ctx context.Context, files []binpack.Item) (*Result, error) {
 	if p.InitialVolume <= 0 || p.Growth < 2 || p.MaxVolume < p.InitialVolume {
-		return nil, fmt.Errorf("probe: invalid protocol config %+v", p)
+		return nil, errs.Invalid("probe: invalid protocol config %+v", p)
 	}
 	var available int64
 	for _, f := range files {
@@ -273,11 +299,14 @@ func (p *Protocol) Run(files []binpack.Item) (*Result, error) {
 			// The corpus cannot supply a larger probe; stop escalating.
 			break
 		}
+		if cerr := errs.FromContext(ctx); cerr != nil {
+			return nil, cerr
+		}
 		set, err := BuildSetWithComplexity(files, v, p.S0, p.Multiples, p.Complexity)
 		if err != nil {
 			return nil, err
 		}
-		ms, err := p.Harness.MeasureSet(set)
+		ms, err := p.Harness.MeasureSetCtx(ctx, set)
 		if err != nil {
 			return nil, err
 		}

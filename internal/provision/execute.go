@@ -1,11 +1,13 @@
 package provision
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/cloudsim"
+	"repro/internal/errs"
 	"repro/internal/workload"
 )
 
@@ -68,8 +70,16 @@ type ExecuteOptions struct {
 // the end; billing is computed per instance from its own elapsed time
 // (pending time is free, every started hour bills in full).
 func Execute(c *cloudsim.Cloud, plan *Plan, opts ExecuteOptions) (*Outcome, error) {
+	return ExecuteCtx(context.Background(), c, plan, opts)
+}
+
+// ExecuteCtx is Execute with cancellation: the context is checked before
+// each bin's instance launch (and threaded through qualification and the
+// per-bin estimate), so an abort lands within one bin of the cancel and
+// the virtual clock is never advanced for a run that did not complete.
+func ExecuteCtx(ctx context.Context, c *cloudsim.Cloud, plan *Plan, opts ExecuteOptions) (*Outcome, error) {
 	if opts.App == nil {
-		return nil, fmt.Errorf("provision: ExecuteOptions.App is required")
+		return nil, errs.Invalid("provision: ExecuteOptions.App is required")
 	}
 	if opts.Zone == "" {
 		opts.Zone = c.Region().Zones[0]
@@ -83,6 +93,9 @@ func Execute(c *cloudsim.Cloud, plan *Plan, opts ExecuteOptions) (*Outcome, erro
 	out := &Outcome{Deadline: plan.RequestedDeadline}
 	var makespan float64
 	for i, bin := range plan.Bins {
+		if cerr := errs.FromContext(ctx); cerr != nil {
+			return nil, errs.Stage("execution", cerr)
+		}
 		var in *cloudsim.Instance
 		var err error
 		switch {
@@ -92,7 +105,7 @@ func Execute(c *cloudsim.Cloud, plan *Plan, opts ExecuteOptions) (*Outcome, erro
 				err = c.WaitUntilRunning(in)
 			}
 		case opts.Qualify:
-			in, _, err = c.AcquireQualified(opts.Type, opts.Zone, 25)
+			in, _, err = c.AcquireQualifiedCtx(ctx, opts.Type, opts.Zone, 25)
 		default:
 			in, err = c.Launch(opts.Type, opts.Zone)
 			if err == nil {
@@ -111,7 +124,7 @@ func Execute(c *cloudsim.Cloud, plan *Plan, opts ExecuteOptions) (*Outcome, erro
 		for _, it := range bin.Items {
 			items = append(items, workload.Item{Size: it.Size, Complexity: opts.Complexity})
 		}
-		elapsed, err := workload.Estimate(in, opts.App, items, st, key)
+		elapsed, err := workload.EstimateCtx(ctx, in, opts.App, items, st, key)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,73 @@
+package textproc
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/errs"
+)
+
+// TestParallelGrepCtxCancellation: at worker counts {1,2,8} a
+// pre-cancelled context yields the typed cancellation error, and a live
+// run over the same files afterwards reproduces the serial result
+// exactly — per-file counts included.
+func TestParallelGrepCtxCancellation(t *testing.T) {
+	files := contentCorpus(t, 40)
+	s, err := NewSearcher("the")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := s.GrepFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 2, 8} {
+		if _, err := s.ParallelGrepCtx(cancelled, files, workers); !errors.Is(err, errs.ErrCancelled) {
+			t.Fatalf("workers=%d: cancelled grep returned %v, want ErrCancelled", workers, err)
+		}
+		res, err := s.ParallelGrepCtx(context.Background(), files, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Matches != serial.Matches || res.Bytes != serial.Bytes {
+			t.Fatalf("workers=%d: totals %d/%d differ from serial %d/%d",
+				workers, res.Matches, res.Bytes, serial.Matches, serial.Bytes)
+		}
+		for i := range serial.Files {
+			if res.Files[i] != serial.Files[i] {
+				t.Fatalf("workers=%d file %d: %+v != %+v", workers, i, res.Files[i], serial.Files[i])
+			}
+		}
+	}
+}
+
+func TestParallelTagFilesCtxCancellation(t *testing.T) {
+	files := contentCorpus(t, 20)
+	tg := NewTagger()
+	serial, err := tg.TagFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 2, 8} {
+		if _, err := tg.ParallelTagFilesCtx(cancelled, files, workers); !errors.Is(err, errs.ErrCancelled) {
+			t.Fatalf("workers=%d: cancelled tagging returned %v", workers, err)
+		}
+		res, err := tg.ParallelTagFilesCtx(context.Background(), files, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Tokens != serial.Tokens || res.Sentences != serial.Sentences || res.Words != serial.Words {
+			t.Fatalf("workers=%d: %+v differs from serial %+v", workers, res, serial)
+		}
+		for tag, n := range serial.TagCounts {
+			if res.TagCounts[tag] != n {
+				t.Fatalf("workers=%d: tag %v count %d, want %d", workers, tag, res.TagCounts[tag], n)
+			}
+		}
+	}
+}

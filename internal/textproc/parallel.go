@@ -1,6 +1,7 @@
 package textproc
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/lexicon"
@@ -18,12 +19,17 @@ import (
 // ParallelGrep searches the files with `workers` goroutines (0 or negative
 // means GOMAXPROCS) and returns exactly what the serial GrepFiles returns.
 func (s *Searcher) ParallelGrep(files []vfs.File, workers int) (*GrepResult, error) {
+	return s.ParallelGrepCtx(context.Background(), files, workers)
+}
+
+// ParallelGrepCtx is ParallelGrep with cancellation: file dispatch stops
+// once ctx is done and the call returns a typed cancellation error. A
+// run that completes is bit-identical to ParallelGrep at any worker
+// count, including the serial workers=1 path.
+func (s *Searcher) ParallelGrepCtx(ctx context.Context, files []vfs.File, workers int) (*GrepResult, error) {
 	pool := par.New(workers)
-	if pool.Workers() <= 1 {
-		return s.GrepFiles(files)
-	}
 	results := make([]FileResult, len(files))
-	err := pool.ForEach(len(files), func(i int) error {
+	err := pool.ForEachCtx(ctx, len(files), func(i int) error {
 		f := files[i]
 		matches, err := s.countFile(f)
 		if err != nil {
@@ -48,6 +54,11 @@ func (s *Searcher) ParallelGrepFS(fs *vfs.FS, workers int) (*GrepResult, error) 
 	return s.ParallelGrep(fs.List(), workers)
 }
 
+// ParallelGrepFSCtx is ParallelGrepFS with cancellation.
+func (s *Searcher) ParallelGrepFSCtx(ctx context.Context, fs *vfs.FS, workers int) (*GrepResult, error) {
+	return s.ParallelGrepCtx(ctx, fs.List(), workers)
+}
+
 // readBufPool recycles the file-materialisation buffers used by the
 // parallel tagger, so tagging a corpus reuses a handful of buffers instead
 // of allocating one per file.
@@ -57,12 +68,17 @@ var readBufPool sync.Pool
 // model instance (the Tagger is read-only after construction) and returns
 // the same merged result as the serial TagFiles.
 func (t *Tagger) ParallelTagFiles(files []vfs.File, workers int) (*POSResult, error) {
+	return t.ParallelTagFilesCtx(context.Background(), files, workers)
+}
+
+// ParallelTagFilesCtx is ParallelTagFiles with cancellation: file
+// dispatch stops once ctx is done and the call returns a typed
+// cancellation error. Completed runs merge identically to the non-ctx
+// form at any worker count.
+func (t *Tagger) ParallelTagFilesCtx(ctx context.Context, files []vfs.File, workers int) (*POSResult, error) {
 	pool := par.New(workers)
-	if pool.Workers() <= 1 {
-		return t.TagFiles(files)
-	}
 	partials := make([]*POSResult, len(files))
-	err := pool.ForEach(len(files), func(i int) error {
+	err := pool.ForEachCtx(ctx, len(files), func(i int) error {
 		var buf []byte
 		if b, ok := readBufPool.Get().(*[]byte); ok {
 			buf = *b

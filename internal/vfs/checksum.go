@@ -1,12 +1,14 @@
 package vfs
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"sort"
 	"sync"
 
+	"repro/internal/errs"
 	"repro/internal/par"
 )
 
@@ -65,15 +67,30 @@ type ManifestEntry struct {
 // depends only on its own bytes, so the manifest is identical at any worker
 // count; errors surface in List order like the serial loop's.
 func BuildManifest(fs *FS) (Manifest, error) {
-	return BuildManifestWorkers(fs, 0)
+	return BuildManifestWorkersCtx(context.Background(), fs, 0)
+}
+
+// BuildManifestCtx is BuildManifest with cancellation: checksum dispatch
+// stops once ctx is done and the call returns a typed cancellation error
+// (errors.Is against errs.ErrCancelled / errs.ErrDeadline).
+func BuildManifestCtx(ctx context.Context, fs *FS) (Manifest, error) {
+	return BuildManifestWorkersCtx(ctx, fs, 0)
 }
 
 // BuildManifestWorkers is BuildManifest with an explicit worker count
 // (0 or negative means GOMAXPROCS); workers=1 is the serial reference.
 func BuildManifestWorkers(fs *FS, workers int) (Manifest, error) {
+	return BuildManifestWorkersCtx(context.Background(), fs, workers)
+}
+
+// BuildManifestWorkersCtx is the cancellable, worker-bounded manifest
+// builder all the other forms delegate to. A run that completes without
+// cancellation is bit-identical to the non-ctx variants at any worker
+// count.
+func BuildManifestWorkersCtx(ctx context.Context, fs *FS, workers int) (Manifest, error) {
 	files := fs.List()
 	sums := make([]uint64, len(files))
-	err := par.New(workers).ForEach(len(files), func(i int) error {
+	err := par.New(workers).ForEachCtx(ctx, len(files), func(i int) error {
 		sum, err := Checksum(files[i])
 		if err != nil {
 			return err
@@ -96,7 +113,7 @@ func BuildManifestWorkers(fs *FS, workers int) (Manifest, error) {
 // contain extra files. The first violation is returned as an error.
 func (m Manifest) Verify(fs *FS) error {
 	if fs.Len() != len(m) {
-		return fmt.Errorf("vfs: manifest has %d entries, file system %d files", len(m), fs.Len())
+		return errs.Corrupt("vfs: manifest has %d entries, file system %d files", len(m), fs.Len())
 	}
 	// Deterministic iteration for stable error messages.
 	names := make([]string, 0, len(m))
@@ -111,14 +128,16 @@ func (m Manifest) Verify(fs *FS) error {
 			return fmt.Errorf("vfs: manifest entry %q missing: %w", name, err)
 		}
 		if f.Size != want.Size {
-			return fmt.Errorf("vfs: %q size %d != manifest %d", name, f.Size, want.Size)
+			return errs.StageFile("manifest-verify", name,
+				errs.Corrupt("vfs: size %d != manifest %d", f.Size, want.Size))
 		}
 		sum, err := Checksum(f)
 		if err != nil {
 			return err
 		}
 		if sum != want.Checksum {
-			return fmt.Errorf("vfs: %q checksum %x != manifest %x", name, sum, want.Checksum)
+			return errs.StageFile("manifest-verify", name,
+				errs.Corrupt("vfs: checksum %x != manifest %x", sum, want.Checksum))
 		}
 	}
 	return nil
@@ -136,6 +155,14 @@ func (m Manifest) Verify(fs *FS) error {
 // order, so the expensive part — regenerating file bytes — overlaps. The
 // resulting value is bit-identical to the fully serial fold.
 func CombinedChecksum(fs *FS) (uint64, error) {
+	return CombinedChecksumCtx(context.Background(), fs)
+}
+
+// CombinedChecksumCtx is CombinedChecksum with cancellation: the context
+// is checked between prefetch windows (and inside the read-ahead fan-out),
+// so an abort lands within one window of work. A run that completes is
+// bit-identical to the non-ctx form.
+func CombinedChecksumCtx(ctx context.Context, fs *FS) (uint64, error) {
 	// Files above the prefetch cap are streamed at fold time instead of
 	// being materialised, bounding read-ahead memory at window × cap.
 	const maxPrefetch = 4 << 20
@@ -152,7 +179,7 @@ func CombinedChecksum(fs *FS) (uint64, error) {
 		if hi > len(files) {
 			hi = len(files)
 		}
-		err := pool.ForEach(hi-lo, func(k int) error {
+		err := pool.ForEachCtx(ctx, hi-lo, func(k int) error {
 			i := lo + k
 			if files[i].Size > maxPrefetch {
 				return nil

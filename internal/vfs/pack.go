@@ -1,10 +1,12 @@
 package vfs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/errs"
 	"repro/internal/packstore"
 	"repro/internal/par"
 )
@@ -44,6 +46,15 @@ func (o *PackOptions) fillDefaults() {
 // the shards are byte-reproducible: the same FS always produces the same
 // pack files.
 func (fs *FS) ExportPack(dir string, opts PackOptions) ([]string, error) {
+	return fs.ExportPackCtx(context.Background(), dir, opts)
+}
+
+// ExportPackCtx is ExportPack with cancellation: the context is checked
+// between prefetch windows and before each member append, so an abort
+// lands within one window of work and the partial shards on disk remain
+// well-formed up to the last completed append. Completed runs are
+// byte-identical to ExportPack.
+func (fs *FS) ExportPackCtx(ctx context.Context, dir string, opts PackOptions) ([]string, error) {
 	opts.fillDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("vfs: export pack: %w", err)
@@ -65,7 +76,7 @@ func (fs *FS) ExportPack(dir string, opts PackOptions) ([]string, error) {
 		if hi > len(files) {
 			hi = len(files)
 		}
-		err := pool.ForEach(hi-lo, func(k int) error {
+		err := pool.ForEachCtx(ctx, hi-lo, func(k int) error {
 			i := lo + k
 			if files[i].Size > maxPrefetch {
 				return nil
@@ -82,6 +93,10 @@ func (fs *FS) ExportPack(dir string, opts PackOptions) ([]string, error) {
 			return nil, err
 		}
 		for i := lo; i < hi; i++ {
+			if cerr := errs.FromContext(ctx); cerr != nil {
+				sw.Close()
+				return nil, cerr
+			}
 			f := files[i]
 			if f.Size > maxPrefetch || bufs[i] == nil {
 				r, err := f.Open()
@@ -119,8 +134,18 @@ func (fs *FS) ExportPack(dir string, opts PackOptions) ([]string, error) {
 // random access to any member. The returned closer releases the pack
 // handles; files obtained from the FS fail after it is closed.
 func ImportPack(sources ...string) (*FS, io.Closer, error) {
+	return ImportPackCtx(context.Background(), sources...)
+}
+
+// ImportPackCtx is ImportPack with cancellation, checked between pack
+// discovery and between member registrations; on abort any packs opened
+// so far are closed before the typed cancellation error is returned.
+func ImportPackCtx(ctx context.Context, sources ...string) (*FS, io.Closer, error) {
 	var paths []string
 	for _, src := range sources {
+		if cerr := errs.FromContext(ctx); cerr != nil {
+			return nil, nil, cerr
+		}
 		info, err := os.Stat(src)
 		if err != nil {
 			return nil, nil, fmt.Errorf("vfs: import pack: %w", err)
@@ -145,6 +170,10 @@ func ImportPack(sources ...string) (*FS, io.Closer, error) {
 	fs := NewFS()
 	for _, p := range set.Packs() {
 		p := p
+		if cerr := errs.FromContext(ctx); cerr != nil {
+			set.Close()
+			return nil, nil, cerr
+		}
 		for _, m := range p.Members() {
 			m := m
 			f := NewContentFile(m.Name, m.Size, func() io.Reader {

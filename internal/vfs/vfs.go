@@ -11,7 +11,7 @@
 package vfs
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/errs"
 	"repro/internal/par"
 )
 
@@ -240,8 +241,10 @@ func (c *concatReader) Close() error {
 	return first
 }
 
-// ErrNotFound is returned by FS lookups for unknown names.
-var ErrNotFound = errors.New("vfs: file not found")
+// ErrNotFound is returned by FS lookups for unknown names. It wraps
+// errs.ErrNotFound, so callers can branch on either sentinel with
+// errors.Is.
+var ErrNotFound = fmt.Errorf("vfs: file not found: %w", errs.ErrNotFound)
 
 // FS is an ordered collection of Files keyed by name.
 type FS struct {
@@ -362,8 +365,15 @@ func (fs *FS) Sizes() []int64 {
 // the Opener contract); on failure the reported error is the one from the
 // first file in List order, matching the serial behaviour.
 func (fs *FS) Export(dir string) error {
+	return fs.ExportCtx(context.Background(), dir)
+}
+
+// ExportCtx is Export with cancellation: no new files are written once
+// ctx is done (files already being written complete), and the call
+// returns a typed cancellation error.
+func (fs *FS) ExportCtx(ctx context.Context, dir string) error {
 	files := fs.List()
-	return par.Default().ForEach(len(files), func(i int) error {
+	return par.Default().ForEachCtx(ctx, len(files), func(i int) error {
 		f := files[i]
 		path, err := exportPath(dir, f.Name)
 		if err != nil {

@@ -19,6 +19,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -353,6 +354,14 @@ const parThreshold = 2048
 // (integer) partials are summed in chunk order, so fanning it out over the
 // pool is bit-identical to the serial loop — and finally the work noise.
 func Estimate(in *cloudsim.Instance, app App, items []Item, st Storage, datasetKey string) (time.Duration, error) {
+	return EstimateCtx(context.Background(), in, app, items, st, datasetKey)
+}
+
+// EstimateCtx is Estimate with cancellation: the per-item cost sum stops
+// dispatching chunks once ctx is done and the call returns a typed
+// cancellation error. A completed estimate is bit-identical to the
+// non-ctx form — the RNG draw order above is unaffected by the context.
+func EstimateCtx(ctx context.Context, in *cloudsim.Instance, app App, items []Item, st Storage, datasetKey string) (time.Duration, error) {
 	if in.State() != cloudsim.Running {
 		return 0, fmt.Errorf("workload: instance %s is %s, not running", in.ID, in.State())
 	}
@@ -366,7 +375,7 @@ func Estimate(in *cloudsim.Instance, app App, items []Item, st Storage, datasetK
 	if len(items) < parThreshold {
 		pool = par.New(1)
 	}
-	sum, err := pool.SumChunks(len(items), func(lo, hi int) (int64, error) {
+	sum, err := pool.SumChunksCtx(ctx, len(items), func(lo, hi int) (int64, error) {
 		var s time.Duration
 		for _, it := range items[lo:hi] {
 			if it.Size < 0 {
@@ -387,7 +396,13 @@ func Estimate(in *cloudsim.Instance, app App, items []Item, st Storage, datasetK
 // virtual time on the cloud's clock, and returns the measured elapsed
 // duration.
 func Run(c *cloudsim.Cloud, in *cloudsim.Instance, app App, items []Item, st Storage, datasetKey string) (time.Duration, error) {
-	elapsed, err := Estimate(in, app, items, st, datasetKey)
+	return RunCtx(context.Background(), c, in, app, items, st, datasetKey)
+}
+
+// RunCtx is Run with cancellation: a run aborted by ctx returns the
+// typed cancellation error without advancing the virtual clock.
+func RunCtx(ctx context.Context, c *cloudsim.Cloud, in *cloudsim.Instance, app App, items []Item, st Storage, datasetKey string) (time.Duration, error) {
+	elapsed, err := EstimateCtx(ctx, in, app, items, st, datasetKey)
 	if err != nil {
 		return 0, err
 	}

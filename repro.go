@@ -32,6 +32,7 @@ import (
 	"repro/internal/cloudsim"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/errs"
 	"repro/internal/experiments"
 	"repro/internal/perfmodel"
 	"repro/internal/provision"
@@ -152,6 +153,35 @@ var ExecutePlan = provision.Execute
 // SelectModelByCV chooses a performance-model family by k-fold
 // cross-validation instead of in-sample R².
 var SelectModelByCV = perfmodel.SelectByCV
+
+// Error taxonomy (internal/errs). Every layer maps its failures onto
+// these sentinels, so callers branch with errors.Is instead of matching
+// message strings; StageError carries which pipeline stage died.
+var (
+	// ErrCancelled marks work interrupted by the caller's context.
+	ErrCancelled = errs.ErrCancelled
+	// ErrDeadline marks work stopped by an expired wall-clock deadline
+	// (DeadlineSeconds arms one around the whole pipeline run).
+	ErrDeadline = errs.ErrDeadline
+	// ErrCorrupt marks stored data failing its checksum or declared size.
+	ErrCorrupt = errs.ErrCorrupt
+	// ErrNotFound marks a missing file or pack member.
+	ErrNotFound = errs.ErrNotFound
+	// ErrInvalid marks a rejected argument or configuration.
+	ErrInvalid = errs.ErrInvalid
+)
+
+// StageError attributes an error to a pipeline stage (and optionally a
+// file); retrieve it with errors.As, or just the stage name via StageOf.
+type StageError = errs.StageError
+
+// StageOf names the outermost pipeline stage an error passed through
+// ("probing", "planning", "execution", …), or "" if none is recorded.
+func StageOf(err error) string { return errs.StageOf(err) }
+
+// IsCancellation reports whether err stems from context cancellation or
+// an expired deadline (as opposed to a genuine task failure).
+func IsCancellation(err error) bool { return errs.IsCancellation(err) }
 
 // Experiments.
 

@@ -29,7 +29,9 @@ verify-quick:
 
 # bench regenerates BENCH.json, the committed record of the acceptance
 # numbers (indexed packers vs linear references, tokenizer allocations,
-# parallel checksum/grep fan-outs).
+# parallel checksum/grep fan-outs, the fused scan vs separate passes).
+# cmd/bench also writes a timestamped BENCH_<yyyymmdd>.json snapshot next
+# to it, so the perf trajectory accumulates across PRs; commit both.
 bench:
 	$(GO) run ./cmd/bench -out BENCH.json
 

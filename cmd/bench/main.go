@@ -1,8 +1,11 @@
 // Command bench runs the repository's acceptance benchmarks — the indexed
 // bin packers against their linear references, the zero-allocation
-// tokenizer, the parallel corpus/checksum/grep fan-outs, and the packstore
-// write/read/verify/random-access paths — via testing.Benchmark and writes
-// the results to BENCH.json. Regenerate with
+// tokenizer, the parallel corpus/checksum/grep fan-outs, the fused scan
+// engine against sequential separate passes, the multi-pattern searcher
+// against per-pattern BMH, and the packstore write/read/verify/
+// random-access paths — via testing.Benchmark and writes the results to
+// BENCH.json (plus a timestamped BENCH_<yyyymmdd>.json snapshot).
+// Regenerate with
 //
 //	make bench   # or: go run ./cmd/bench -out BENCH.json
 //
@@ -27,9 +30,11 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/packstore"
 	"repro/internal/par"
+	"repro/internal/scan"
 	"repro/internal/stats"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
+	"repro/internal/workload"
 )
 
 // Result is one benchmark's outcome.
@@ -187,6 +192,7 @@ func measureCancelLatency(rounds int) CancelLatency {
 
 func main() {
 	out := flag.String("out", "BENCH.json", "output path for the JSON report")
+	snapshot := flag.Bool("snapshot", true, "also write a timestamped BENCH_<yyyymmdd>.json copy next to -out, accumulating the perf trajectory across PRs")
 	flag.Parse()
 	ctx, stop := cli.SignalContext()
 	defer stop()
@@ -240,6 +246,76 @@ func main() {
 		for i := 0; i < b.N; i++ {
 			if _, err := s.ParallelGrepFS(contentFS, 0); err != nil {
 				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Fused scan: the pass-fusion acceptance pair. The corpus is lazily
+	// generated — every open regenerates the file's bytes — so per-read
+	// cost dominates exactly as it does for many small files on disk. The
+	// fused run reads each file once feeding all four kernels; the
+	// multipass reference runs the same engine once per kernel, reading
+	// everything four times, which is what the pre-scan pipeline did
+	// (CombinedChecksum + ParallelGrep + ComplexityOf as separate passes).
+	lazyFS, err := corpus.GenerateWithContent(corpus.Text400K(0.0005), 8)
+	if err != nil {
+		fatal(err)
+	}
+	scanSrcs := vfs.Sources(lazyFS.List())
+	scanPatterns := []string{"the", "and", "president", "market", "city", "nation", "report", "error"}
+	ms, err := textproc.NewMultiSearcher(scanPatterns)
+	if err != nil {
+		fatal(err)
+	}
+	tagger := textproc.NewTagger()
+	fourKernels := func() []scan.Kernel {
+		return []scan.Kernel{
+			scan.NewChecksum(),
+			textproc.NewStatsKernel(),
+			textproc.NewMatchKernel(ms),
+			workload.NewComplexityKernel(tagger),
+		}
+	}
+	add(run("FusedScan200Files", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := scan.Run(ctx, scanSrcs, scan.Options{}, fourKernels()...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(run("MultipassScan200Files", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, k := range fourKernels() {
+				if err := scan.Run(ctx, scanSrcs, scan.Options{}, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}))
+	// Multi-pattern search: one automaton pass for 8 patterns against 8
+	// separate BMH passes over the same 100 kB.
+	add(run("MultiSearch8Patterns100kB", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ms.CountBytes(text)
+		}
+	}))
+	add(run("SearcherPerPattern8x100kB", func(b *testing.B) {
+		searchers := make([]*textproc.Searcher, len(scanPatterns))
+		for i, p := range scanPatterns {
+			s, err := textproc.NewSearcher(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			searchers[i] = s
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, s := range searchers {
+				s.CountBytes(text)
 			}
 		}
 	}))
@@ -317,6 +393,11 @@ func main() {
 		// ~1.0 demonstrates O(1) member access: one member's read cost is
 		// independent of how many members the pack holds.
 		"pack_random_access_2048_over_64": byName["PackRandomAccess1of2048"].NsPerOp / byName["PackRandomAccess1of64"].NsPerOp,
+		// The pass-fusion acceptance: one read feeding four kernels vs four
+		// sequential separate passes over the same 200 files (≥ 1.5x).
+		"fused_scan_speedup_vs_multipass": byName["MultipassScan200Files"].NsPerOp / byName["FusedScan200Files"].NsPerOp,
+		// One Aho–Corasick pass for 8 patterns vs 8 BMH passes.
+		"multisearch_speedup_vs_8_searchers": byName["SearcherPerPattern8x100kB"].NsPerOp / byName["MultiSearch8Patterns100kB"].NsPerOp,
 	}
 
 	data, err := json.MarshalIndent(o, "", "  ")
@@ -327,9 +408,18 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear, pack access 2048/64 %.2fx)\n",
+	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear, pack access 2048/64 %.2fx, fused scan %.2fx vs multipass, multisearch %.2fx vs 8 searchers)\n",
 		*out, o.Ratios["firstfit_speedup_vs_linear"], o.Ratios["subsetsum_speedup_vs_linear"],
-		o.Ratios["pack_random_access_2048_over_64"])
+		o.Ratios["pack_random_access_2048_over_64"], o.Ratios["fused_scan_speedup_vs_multipass"],
+		o.Ratios["multisearch_speedup_vs_8_searchers"])
+	if *snapshot {
+		snapPath := filepath.Join(filepath.Dir(*out),
+			fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102")))
+		if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshot %s\n", snapPath)
+	}
 }
 
 func fatal(err error) {

@@ -10,6 +10,12 @@
 //	pipeline -app grep -dir ./corpus -deadline 3600
 //	pipeline -app grep -packs ./packed -deadline 3600
 //	pipeline -app pos -spec text -scale 0.002 -deadline 120 -fit cv
+//	pipeline -app grep -dir ./corpus -grep error,warning,fatal -measure
+//	pipeline -app pos -spec text -scale 0.002 -measure
+//
+// -grep and -measure share one fused scan: every file is opened and
+// streamed exactly once, feeding the checksum, multi-pattern match,
+// text-stats and (for -app pos) POS-complexity kernels per block.
 package main
 
 import (
@@ -38,6 +44,9 @@ func main() {
 		seed     = flag.Int64("seed", 2011, "random seed")
 		fit      = flag.String("fit", "r2", "model selection: r2, cv or weighted")
 		execute  = flag.Bool("execute", true, "execute the plan on the simulated cloud")
+		grepPats = flag.String("grep", "", "comma-separated literal patterns: count matches during the fused measurement scan")
+		foldCase = flag.Bool("fold", false, "match -grep patterns ASCII case-insensitively")
+		measure  = flag.Bool("measure", false, "fused single-pass scan of the corpus bytes (checksums + text stats; with -app pos also a per-file complexity profile that the run consumes)")
 	)
 	flag.Parse()
 
@@ -87,12 +96,51 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pipeline: unknown spec %q (html or text)\n", *specName)
 			os.Exit(2)
 		}
-		fs, err = corpus.Generate(spec, *seed)
+		if *grepPats != "" || *measure {
+			// The fused scan needs real bytes; generate them lazily so the
+			// corpus still never resides in memory at once.
+			fs, err = corpus.GenerateWithContent(spec, *seed)
+		} else {
+			fs, err = corpus.Generate(spec, *seed)
+		}
 	}
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("corpus: %d files, %d bytes\n", fs.Len(), fs.TotalSize())
+
+	// One fused scan serves every requested measurement: checksums, text
+	// stats, multi-pattern grep and the POS complexity profile all ride the
+	// same single read of each file (packed corpora shard-sequentially).
+	var complexity map[string]float64
+	if *grepPats != "" || *measure {
+		if !contentBacked(fs) {
+			fmt.Fprintln(os.Stderr, "pipeline: -grep/-measure need corpus bytes; use -dir or -packs (or a content-backed spec)")
+			os.Exit(2)
+		}
+		opts := core.MeasureOptions{FoldCase: *foldCase, Complexity: *measure && *appName == "pos"}
+		if *grepPats != "" {
+			opts.Patterns = strings.Split(*grepPats, ",")
+		}
+		m, err := core.MeasureCtx(ctx, fs, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("measured (one fused pass): %d tokens, %d words, %d sentences, %d lines, mean sentence %.1f words\n",
+			m.Stats.Tokens, m.Stats.Words, m.Stats.Sentences, m.Lines, m.Stats.MeanSentence)
+		for i, pat := range m.Patterns {
+			fmt.Printf("  pattern %q: %d matches\n", pat, m.PatternTotals[i])
+		}
+		if m.Complexity != nil {
+			complexity = m.Complexity
+			var mean float64
+			for _, c := range complexity {
+				mean += c
+			}
+			fmt.Printf("  POS complexity profile: %d files, mean %.3f\n",
+				len(complexity), mean/float64(len(complexity)))
+		}
+	}
 
 	// Scale the probe protocol to the corpus: escalate from ~1/100 of the
 	// volume, cap at the corpus size.
@@ -116,7 +164,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := p.RunCtx(ctx, fs)
+	var res *core.Result
+	if complexity != nil {
+		res, err = p.RunProfileCtx(ctx, &corpus.Profile{FS: fs, Complexity: complexity})
+	} else {
+		res, err = p.RunCtx(ctx, fs)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -143,6 +196,17 @@ func main() {
 	}
 	fmt.Printf("executed: makespan %.1fs, %d/%d missed, actual $%.3f\n",
 		out.MakespanS, out.Missed, len(out.PerInstance), out.ActualCost)
+}
+
+// contentBacked reports whether every corpus file carries real bytes —
+// the precondition for a fused measurement scan.
+func contentBacked(fs *vfs.FS) bool {
+	for _, f := range fs.List() {
+		if !f.HasContent() {
+			return false
+		}
+	}
+	return true
 }
 
 // pickS0 chooses a base probe unit comfortably above the largest file, as

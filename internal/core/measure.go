@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/errs"
+	"repro/internal/scan"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+// Measurement is the artefact of one fused scan over a content-backed
+// corpus: checksums, text statistics, optional multi-pattern match counts
+// and optional per-file POS complexity — all from exactly one open and
+// one streaming read of every file. This replaces the measure/verify
+// pattern of separate CombinedChecksum + ParallelGrep + ComplexityOf
+// passes, each of which re-read the whole corpus.
+type Measurement struct {
+	Files int
+	Bytes int64
+
+	// Manifest holds every file's size and FNV-64a checksum.
+	Manifest vfs.Manifest
+
+	// Stats aggregates token/sentence/line statistics corpus-wide;
+	// FileStats holds them per file in scan order.
+	Stats     textproc.TextStats
+	Lines     int64
+	FileStats []textproc.FileStats
+
+	// Patterns echoes MeasureOptions.Patterns; PatternTotals counts
+	// corpus-wide matches per pattern in the same order, PatternFiles per
+	// file, and Matches sums across patterns. Empty without patterns.
+	Patterns      []string
+	PatternTotals []int64
+	PatternFiles  []textproc.FilePatternCount
+	Matches       int64
+
+	// Complexity maps file name to POS complexity (nil unless requested),
+	// in the exact shape RunProfileCtx consumes.
+	Complexity map[string]float64
+}
+
+// MeasureOptions selects which kernels a fused measurement runs beyond
+// the always-on checksum and text-stats pair.
+type MeasureOptions struct {
+	// Workers bounds the scan fan-out (0 = GOMAXPROCS).
+	Workers int
+	// Patterns adds a multi-pattern grep kernel (Aho–Corasick, one
+	// automaton pass for all patterns).
+	Patterns []string
+	// FoldCase makes the pattern match ASCII case-insensitive.
+	FoldCase bool
+	// Complexity adds the POS-complexity kernel, producing the per-file
+	// profile RunProfileCtx consumes.
+	Complexity bool
+	// Tagger optionally supplies a prebuilt tagger for the complexity
+	// kernel; nil means build one on demand.
+	Tagger *textproc.Tagger
+}
+
+// Measure runs one fused scan over every file of the corpus.
+func Measure(corpusFS *vfs.FS, opts MeasureOptions) (*Measurement, error) {
+	return MeasureCtx(context.Background(), corpusFS, opts)
+}
+
+// MeasureCtx is Measure with cancellation. The scan reads pack-backed
+// corpora shard-sequentially; results are bit-identical at any worker
+// count. Errors carry the "measure" stage and the usual typed sentinels.
+func MeasureCtx(ctx context.Context, corpusFS *vfs.FS, opts MeasureOptions) (*Measurement, error) {
+	files := corpusFS.List()
+	srcs := scan.SequentialOrder(vfs.Sources(files))
+
+	ck := scan.NewChecksum()
+	st := textproc.NewStatsKernel()
+	kernels := []scan.Kernel{ck, st}
+
+	var mk *textproc.MatchKernel
+	if len(opts.Patterns) > 0 {
+		var ms *textproc.MultiSearcher
+		var err error
+		if opts.FoldCase {
+			ms, err = textproc.NewFoldedMultiSearcher(opts.Patterns)
+		} else {
+			ms, err = textproc.NewMultiSearcher(opts.Patterns)
+		}
+		if err != nil {
+			return nil, errs.Stage("measure", err)
+		}
+		mk = textproc.NewMatchKernel(ms)
+		kernels = append(kernels, mk)
+	}
+
+	var cx *workload.ComplexityKernel
+	if opts.Complexity {
+		tagger := opts.Tagger
+		if tagger == nil {
+			tagger = textproc.NewTagger()
+		}
+		cx = workload.NewComplexityKernel(tagger)
+		kernels = append(kernels, cx)
+	}
+
+	if err := scan.Run(ctx, srcs, scan.Options{Workers: opts.Workers}, kernels...); err != nil {
+		return nil, errs.Stage("measure", err)
+	}
+
+	m := &Measurement{
+		Files:     len(files),
+		Manifest:  make(vfs.Manifest, len(files)),
+		Stats:     st.Total(),
+		Lines:     st.Lines(),
+		FileStats: st.Files(),
+	}
+	for _, s := range ck.Sums() {
+		m.Bytes += s.Size
+		m.Manifest[s.Name] = vfs.ManifestEntry{Size: s.Size, Checksum: s.Sum}
+	}
+	if mk != nil {
+		m.Patterns = mk.Searcher().Patterns()
+		m.PatternTotals = mk.Totals()
+		m.PatternFiles = mk.Files()
+		m.Matches = mk.TotalMatches()
+	}
+	if cx != nil {
+		m.Complexity = cx.Map()
+	}
+	return m, nil
+}
+
+// RunMeasured executes the pipeline over a content-backed corpus whose
+// complexity profile is derived from its real bytes by one fused scan.
+func (p *Pipeline) RunMeasured(corpusFS *vfs.FS) (*Result, *Measurement, error) {
+	return p.RunMeasuredCtx(context.Background(), corpusFS)
+}
+
+// RunMeasuredCtx measures the corpus (checksums, stats, per-file POS
+// complexity — one read of every file) and then runs the pipeline as
+// RunProfileCtx would with the measured profile. The measurement is
+// returned alongside the plan so callers can report or verify it.
+func (p *Pipeline) RunMeasuredCtx(ctx context.Context, corpusFS *vfs.FS) (*Result, *Measurement, error) {
+	m, err := MeasureCtx(ctx, corpusFS, MeasureOptions{Complexity: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := p.run(ctx, corpusFS, m.Complexity)
+	if err != nil {
+		return nil, m, err
+	}
+	return res, m, nil
+}

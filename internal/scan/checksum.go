@@ -1,0 +1,98 @@
+package scan
+
+// FNV-64a, inlined: the same function hash/fnv computes, but folded in a
+// tight loop over each block with the running state in a register instead
+// of behind an interface call per write. Per-file sums here are
+// bit-identical to vfs.Checksum; the combined fold is bit-identical to
+// hashing the concatenation of all files in input order.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+func fnvFold(h uint64, p []byte) uint64 {
+	for _, b := range p {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	return h
+}
+
+// FileSum is one scanned file's identity: its name, declared size, and
+// FNV-64a checksum of its content.
+type FileSum struct {
+	Name string
+	Size int64
+	Sum  uint64
+}
+
+// Checksum is the per-file FNV-64a kernel: after a Run it holds one
+// FileSum per scanned file, in input order.
+type Checksum struct {
+	h    uint64
+	cur  FileSum
+	sums []FileSum
+}
+
+// NewChecksum returns a per-file checksum kernel prototype.
+func NewChecksum() *Checksum { return &Checksum{} }
+
+// Fork implements Kernel.
+func (c *Checksum) Fork() Kernel { return &Checksum{} }
+
+// Begin implements Kernel.
+func (c *Checksum) Begin(src Source) {
+	c.h = fnvOffset64
+	c.cur = FileSum{Name: src.Name, Size: src.Size}
+}
+
+// Block implements Kernel.
+func (c *Checksum) Block(p []byte) { c.h = fnvFold(c.h, p) }
+
+// End implements Kernel.
+func (c *Checksum) End() { c.cur.Sum = c.h }
+
+// Merge implements Kernel: it appends the completed file carried by a
+// forked instance, preserving the engine's input order.
+func (c *Checksum) Merge(other Kernel) {
+	c.sums = append(c.sums, other.(*Checksum).cur)
+}
+
+// Sums returns the per-file checksums in input order. The slice is owned
+// by the kernel.
+func (c *Checksum) Sums() []FileSum { return c.sums }
+
+// Combined is the order-sequential corpus checksum kernel: one FNV-64a
+// state folded across every file's bytes in delivery order, equal to
+// hashing the concatenation of all inputs. Because the fold order defines
+// the value, Combined is only meaningful under RunOrdered; it cannot
+// participate in out-of-order merges, and Merge panics to make that
+// misuse loud.
+type Combined struct {
+	h uint64
+}
+
+// NewCombined returns a combined-checksum kernel seeded with the FNV
+// offset basis, so an empty corpus hashes to the canonical empty sum.
+func NewCombined() *Combined { return &Combined{h: fnvOffset64} }
+
+// Fork implements Kernel. A fork restarts from the offset basis; it does
+// not share the parent's running state.
+func (c *Combined) Fork() Kernel { return NewCombined() }
+
+// Begin implements Kernel: a no-op — the running state spans files.
+func (c *Combined) Begin(Source) {}
+
+// Block implements Kernel.
+func (c *Combined) Block(p []byte) { c.h = fnvFold(c.h, p) }
+
+// End implements Kernel: a no-op — the running state spans files.
+func (c *Combined) End() {}
+
+// Merge implements Kernel. FNV states are not mergeable across files, so
+// Combined refuses: use RunOrdered, which never merges.
+func (c *Combined) Merge(Kernel) {
+	panic("scan: Combined checksum cannot merge; run it under RunOrdered")
+}
+
+// Sum returns the running combined checksum.
+func (c *Combined) Sum() uint64 { return c.h }

@@ -1,0 +1,164 @@
+package scan_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/scan"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+// diffPatterns are the grep patterns for the differential corpus; they
+// overlap each other ("the"/"they", "an"/"and") and self-overlap ("anan"
+// never, "aa" in "aaaa") to stress the automaton's counting semantics.
+var diffPatterns = []string{"the", "they", "an", "and", "aa", "error"}
+
+// diffCorpus builds deterministic text files exercising every tokenizer
+// edge the streaming kernels must reproduce: sentence punctuation,
+// multi-byte runes (word and punctuation), apostrophes, pattern matches
+// placed to straddle small block boundaries, and empty files.
+func diffCorpus(t *testing.T, n int) *vfs.FS {
+	t.Helper()
+	pieces := []string{
+		"the quick brown fox. ",
+		"they said it's fine! ",
+		"an and and anan aaaa?\n",
+		"café naïve résumé — dash. ",
+		"errors error erroneous\n",
+		"12 o'clock... ",
+		"é ",
+	}
+	fs := vfs.NewFS()
+	for i := 0; i < n; i++ {
+		var b bytes.Buffer
+		if i%9 != 4 { // every ninth file is empty
+			for j := 0; j < 3+i%5; j++ {
+				b.WriteString(pieces[(i+j)%len(pieces)])
+			}
+		}
+		if err := fs.Add(vfs.BytesFile(fmt.Sprintf("file-%04d", i), append([]byte(nil), b.Bytes()...))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+// TestFusedScanMatchesReferenceImplementations is the acceptance
+// differential: one fused run of all four kernels must be byte-identical
+// to the per-kernel reference implementations (vfs.Checksum,
+// textproc.Analyze, per-pattern Searcher counts, workload.ComplexityOf)
+// at workers 1, 2 and 8 — including with a tiny block size that forces
+// every token, match and rune to straddle block boundaries.
+func TestFusedScanMatchesReferenceImplementations(t *testing.T) {
+	fs := diffCorpus(t, 30)
+	files := fs.List()
+	tagger := textproc.NewTagger()
+
+	// Reference results, computed the slow way: one full pass per kernel.
+	type ref struct {
+		sum        uint64
+		stats      textproc.TextStats
+		lines      int64
+		counts     []int64
+		complexity float64
+	}
+	refs := make([]ref, len(files))
+	searchers := make([]*textproc.Searcher, len(diffPatterns))
+	for i, p := range diffPatterns {
+		s, err := textproc.NewSearcher(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		searchers[i] = s
+	}
+	for i, f := range files {
+		data, err := f.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := vfs.Checksum(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int64, len(diffPatterns))
+		for j, s := range searchers {
+			counts[j] = s.CountBytes(data)
+		}
+		refs[i] = ref{
+			sum:        sum,
+			stats:      textproc.Analyze(data),
+			lines:      int64(bytes.Count(data, []byte("\n"))),
+			counts:     counts,
+			complexity: workload.ComplexityOf(data, tagger),
+		}
+	}
+
+	ms, err := textproc.NewMultiSearcher(diffPatterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		for _, block := range []int{3, 64, 0} {
+			ck := scan.NewChecksum()
+			st := textproc.NewStatsKernel()
+			mk := textproc.NewMatchKernel(ms)
+			cx := workload.NewComplexityKernel(tagger)
+			err := scan.Run(context.Background(), vfs.Sources(files),
+				scan.Options{Workers: workers, BlockSize: block}, ck, st, mk, cx)
+			if err != nil {
+				t.Fatalf("workers=%d block=%d: %v", workers, block, err)
+			}
+			sums, stats, matches, cplx := ck.Sums(), st.Files(), mk.Files(), cx.Files()
+			for i, f := range files {
+				tag := fmt.Sprintf("workers=%d block=%d file=%s", workers, block, f.Name)
+				if sums[i].Name != f.Name || stats[i].Name != f.Name ||
+					matches[i].Name != f.Name || cplx[i].Name != f.Name {
+					t.Fatalf("%s: kernel merge order diverged from input order", tag)
+				}
+				if sums[i].Sum != refs[i].sum {
+					t.Errorf("%s: checksum %x, want %x", tag, sums[i].Sum, refs[i].sum)
+				}
+				if stats[i].Stats != refs[i].stats {
+					t.Errorf("%s: stats %+v, want %+v", tag, stats[i].Stats, refs[i].stats)
+				}
+				if stats[i].Lines != refs[i].lines {
+					t.Errorf("%s: lines %d, want %d", tag, stats[i].Lines, refs[i].lines)
+				}
+				if !reflect.DeepEqual(matches[i].Counts, refs[i].counts) {
+					t.Errorf("%s: counts %v, want %v", tag, matches[i].Counts, refs[i].counts)
+				}
+				if cplx[i].Complexity != refs[i].complexity {
+					t.Errorf("%s: complexity %v, want %v", tag, cplx[i].Complexity, refs[i].complexity)
+				}
+			}
+			if t.Failed() {
+				t.FailNow()
+			}
+		}
+	}
+}
+
+// TestFoldedMultiSearcherMatchesFoldedSearcher pins the fold semantics of
+// the automaton to the reference BMH searcher.
+func TestFoldedMultiSearcherMatchesFoldedSearcher(t *testing.T) {
+	text := []byte("The THEY theatre ANDante AA aa aA Error ERRORS the")
+	ms, err := textproc.NewFoldedMultiSearcher(diffPatterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ms.CountBytes(text)
+	for i, p := range diffPatterns {
+		s, err := textproc.NewFoldedSearcher(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := s.CountBytes(text); got[i] != want {
+			t.Errorf("pattern %q: folded count %d, want %d", p, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package scan
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/errs"
+	"repro/internal/par"
+)
+
+// maxPrefetch bounds how much of any one file RunOrdered materialises
+// ahead of the fold; larger files are streamed at fold time instead.
+const maxPrefetch = 4 << 20
+
+// zeroBytes marks a prefetched empty file: non-nil so the fold does not
+// mistake it for "not prefetched" and open the source a second time.
+var zeroBytes = []byte{}
+
+// RunOrdered scans every source exactly once and feeds the kernels in
+// strict input order — file i's blocks are delivered before file i+1's,
+// with no interleaving. It exists for order-sequential folds like the
+// combined corpus checksum, where per-file states cannot be merged and
+// the value is defined by the concatenation order. Parallelism comes from
+// windowed content prefetch (the same pattern as pack export): workers
+// materialise upcoming files concurrently while the fold walks the window
+// serially, handing buffers one window ahead for reuse. Oversized files
+// are streamed through a block buffer at fold time rather than
+// materialised. Kernels see Begin/Block/End per file but are never
+// forked or merged; completed runs are bit-identical at any worker count.
+func RunOrdered(ctx context.Context, srcs []Source, opts Options, kernels ...Kernel) error {
+	if len(kernels) == 0 {
+		return errs.Invalid("scan: no kernels registered")
+	}
+	blockSize := opts.BlockSize
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	pool := par.New(opts.Workers)
+	// The window is sized for both prefetch depth (2 per worker) and
+	// dispatch amortisation: each window costs one pool fan-out, so a floor
+	// keeps narrow machines from paying that per pair of files.
+	window := pool.Workers() * 2
+	if window < 16 {
+		window = 16
+	}
+	n := len(srcs)
+	bufs := make([][]byte, n)
+	// Size every window buffer for the largest prefetchable file up front:
+	// the hand-off one window ahead then never regrows a buffer, so the run
+	// allocates one buffer per window slot instead of one per size bump.
+	var capHint int
+	for i := range srcs {
+		if srcs[i].Size <= maxPrefetch && int(srcs[i].Size) > capHint {
+			capHint = int(srcs[i].Size)
+		}
+	}
+	var blockBuf []byte // lazily sized; only large files stream
+	for lo := 0; lo < n; lo += window {
+		hi := lo + window
+		if hi > n {
+			hi = n
+		}
+		err := pool.ForEachCtx(ctx, hi-lo, func(k int) error {
+			i := lo + k
+			if srcs[i].Size > maxPrefetch {
+				return nil
+			}
+			buf := bufs[i]
+			if buf == nil && capHint > 0 {
+				buf = make([]byte, 0, capHint+1) // +1: probe byte, see readSource
+			}
+			data, err := readSource(srcs[i], buf)
+			if err != nil {
+				return err
+			}
+			bufs[i] = data
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			if cerr := errs.FromContext(ctx); cerr != nil {
+				return cerr
+			}
+			src := srcs[i]
+			if src.Size > maxPrefetch || bufs[i] == nil {
+				// Oversized (or prefetch-skipped) file: stream it through a
+				// block buffer at fold time; scanOne drives Begin..End.
+				if blockBuf == nil {
+					blockBuf = make([]byte, blockSize)
+				}
+				if err := scanOne(src, kernels, blockBuf); err != nil {
+					return err
+				}
+				continue
+			}
+			for _, k := range kernels {
+				k.Begin(src)
+			}
+			if len(bufs[i]) > 0 {
+				for _, k := range kernels {
+					k.Block(bufs[i])
+				}
+			}
+			for _, k := range kernels {
+				k.End()
+			}
+			// Hand the backing array to a file one window ahead for reuse.
+			if j := i + window; j < n {
+				bufs[j] = bufs[i][:0]
+			}
+			bufs[i] = nil
+		}
+	}
+	return nil
+}
+
+// readSource materialises one source in full: one Open, one exact-size
+// read, one Close. Content shorter or longer than the declared size is
+// corrupt. buf is reused when its capacity suffices.
+func readSource(src Source, buf []byte) ([]byte, error) {
+	if src.Content == nil {
+		return nil, errs.Invalid("scan: source %q has no content", src.Name)
+	}
+	r, err := src.Content.Open()
+	if err != nil {
+		return nil, fmt.Errorf("scan: open %q: %w", src.Name, err)
+	}
+	// Always keep one spare byte of capacity: the over-length probe below
+	// reads into it, so no per-file probe array escapes through the
+	// io.Reader interface call.
+	if int64(cap(buf)) > src.Size {
+		buf = buf[:src.Size]
+	} else {
+		buf = make([]byte, src.Size, src.Size+1)
+	}
+	got, err := io.ReadFull(r, buf)
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		closeIgnore(r)
+		return nil, errs.Corrupt("scan: %q declared %d bytes but content has %d", src.Name, src.Size, got)
+	}
+	if err != nil {
+		closeIgnore(r)
+		return nil, fmt.Errorf("scan: reading %q: %w", src.Name, err)
+	}
+	// Probe for bytes past the declared size: over-long content is as
+	// corrupt as a short file.
+	probe := buf[len(buf) : len(buf)+1]
+	if extra, _ := r.Read(probe); extra > 0 {
+		closeIgnore(r)
+		return nil, errs.Corrupt("scan: %q has more content than its declared %d bytes", src.Name, src.Size)
+	}
+	if c, ok := r.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil {
+			return nil, fmt.Errorf("scan: closing %q: %w", src.Name, cerr)
+		}
+	}
+	if buf == nil {
+		buf = zeroBytes
+	}
+	return buf, nil
+}
+
+func closeIgnore(r io.Reader) {
+	if c, ok := r.(io.Closer); ok {
+		c.Close()
+	}
+}

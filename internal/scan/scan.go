@@ -1,0 +1,225 @@
+// Package scan is the fused single-pass scan engine: it reads each input
+// file's bytes exactly once through a pooled block buffer and feeds every
+// registered kernel per block, so a run that checksums, greps and measures
+// text statistics costs one open and one streaming read per file instead of
+// one per kernel. The paper's whole premise is that per-file overhead — not
+// compute — dominates text processing over many-small-file corpora; pass
+// fusion removes the software re-introduction of that overhead.
+//
+// Determinism contract: results are bit-identical at any worker count,
+// including 1, because
+//
+//   - every file is scanned by exactly one worker into a private kernel set
+//     (forked from the registered prototypes, recycled through a free list),
+//   - per-file kernel state is merged into the prototypes strictly in input
+//     order (a merge frontier advances as files complete, regardless of
+//     which worker finished them first), and
+//   - dispatch, fast-fail and cancellation semantics are par.Pool's:
+//     the reported error is the one from the lowest failing index, and
+//     Ctx cancellation maps to the typed errs sentinels.
+//
+// Kernels own the block-boundary problem: a kernel whose unit of work can
+// straddle two Block calls must carry the straddle itself — bounded
+// carry-over bytes (literal matchers keep at most len(pattern)-1 bytes),
+// automaton state (Aho–Corasick needs only its node index), or an
+// in-flight token buffer (the text-stats analyzer). The engine never
+// re-delivers bytes.
+package scan
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/errs"
+	"repro/internal/par"
+)
+
+// DefaultBlockSize is the streaming window used when Options.BlockSize is
+// zero: large enough to amortise per-block kernel dispatch, small enough
+// that a worker set's resident buffer stays cache-friendly.
+const DefaultBlockSize = 128 * 1024
+
+// Opener provides a Source's bytes. Open must return an independent
+// reader per call; the engine calls it exactly once per file per run and
+// closes the reader when it implements io.Closer. It is an interface
+// rather than a func field so adapters holding a pointer (vfs files, pack
+// members) cost no per-source closure allocation.
+type Opener interface {
+	Open() (io.Reader, error)
+}
+
+// OpenFunc adapts a plain function to an Opener (handy for tests and
+// ad-hoc sources).
+type OpenFunc func() (io.Reader, error)
+
+// Open implements Opener.
+func (f OpenFunc) Open() (io.Reader, error) { return f() }
+
+// Source is one scannable input: a named, sized byte stream. Shard and
+// Offset optionally record the file's physical location inside a shared
+// container (a packstore shard): SequentialOrder uses them to keep reads
+// sequential on disk.
+type Source struct {
+	Name    string
+	Size    int64
+	Shard   string
+	Offset  int64
+	Content Opener
+}
+
+// Kernel is a streaming computation fed one file at a time. The engine
+// drives the cycle Begin(file) → Block(bytes)* → End() on a forked
+// instance, then hands that instance — holding exactly one completed
+// file's accumulation — to the registered prototype's Merge, always in
+// input order. Begin doubles as the reset, so forked instances are
+// recycled across files.
+//
+// Block receives a window of the file's bytes, valid only for the
+// duration of the call; kernels must not retain it. Merge is called on
+// the prototype only, never concurrently.
+type Kernel interface {
+	// Fork returns a fresh instance sharing the receiver's read-only
+	// configuration (pattern automata, lexicons) but no accumulation.
+	Fork() Kernel
+	// Begin resets the kernel for a new file.
+	Begin(src Source)
+	// Block feeds the next window of the file's bytes.
+	Block(p []byte)
+	// End marks the file complete; the kernel finalises its per-file state.
+	End()
+	// Merge folds a completed single-file kernel (same concrete type) into
+	// the receiver. The engine guarantees input order.
+	Merge(other Kernel)
+}
+
+// Options configures a scan run.
+type Options struct {
+	// Workers bounds the fan-out (0 or negative = GOMAXPROCS; 1 = serial).
+	Workers int
+	// BlockSize is the streaming window in bytes (0 = DefaultBlockSize).
+	BlockSize int
+}
+
+// Run scans every source exactly once, feeding all kernels per block, and
+// merges per-file results into the kernel prototypes in input order. On
+// error (lowest failing index, per the par contract) or cancellation the
+// prototypes hold an unspecified prefix of the results and must be
+// discarded. Completed runs are bit-identical at any worker count.
+func Run(ctx context.Context, srcs []Source, opts Options, kernels ...Kernel) error {
+	if len(kernels) == 0 {
+		return errs.Invalid("scan: no kernels registered")
+	}
+	blockSize := opts.BlockSize
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	pool := par.New(opts.Workers)
+	n := len(srcs)
+
+	// Pooled per-file scratch: block buffers and forked kernel sets. The
+	// free list is bounded by the worker count plus the merge frontier's
+	// straggler window, so a million-file scan allocates a handful of sets,
+	// not one per file.
+	bufs := sync.Pool{New: func() any {
+		b := make([]byte, blockSize)
+		return &b
+	}}
+	var mu sync.Mutex
+	var free [][]Kernel
+	slots := make([][]Kernel, n)
+	frontier := 0
+
+	fork := func() []Kernel {
+		mu.Lock()
+		if k := len(free) - 1; k >= 0 {
+			set := free[k]
+			free = free[:k]
+			mu.Unlock()
+			return set
+		}
+		mu.Unlock()
+		set := make([]Kernel, len(kernels))
+		for i, k := range kernels {
+			set[i] = k.Fork()
+		}
+		return set
+	}
+
+	return pool.ForEachCtx(ctx, n, func(i int) error {
+		set := fork()
+		bp := bufs.Get().(*[]byte)
+		err := scanOne(srcs[i], set, *bp)
+		bufs.Put(bp)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			free = append(free, set) // Begin resets; safe to recycle
+			return err
+		}
+		slots[i] = set
+		// Advance the merge frontier: every contiguously-completed file is
+		// folded into the prototypes in input order and its set recycled.
+		for frontier < n && slots[frontier] != nil {
+			done := slots[frontier]
+			slots[frontier] = nil
+			for j, k := range done {
+				kernels[j].Merge(k)
+			}
+			free = append(free, done)
+			frontier++
+		}
+		return nil
+	})
+}
+
+// scanOne streams one source through the kernel set: exactly one Open,
+// one pass of reads, one Close. The byte count is validated against the
+// declared size — short or over-long content is as corrupt here as it is
+// in vfs.ReadInto.
+func scanOne(src Source, set []Kernel, buf []byte) error {
+	if src.Content == nil {
+		return errs.Invalid("scan: source %q has no content", src.Name)
+	}
+	r, err := src.Content.Open()
+	if err != nil {
+		return fmt.Errorf("scan: open %q: %w", src.Name, err)
+	}
+	for _, k := range set {
+		k.Begin(src)
+	}
+	var total int64
+	var rerr error
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			total += int64(n)
+			for _, k := range set {
+				k.Block(buf[:n])
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rerr = fmt.Errorf("scan: reading %q: %w", src.Name, err)
+			break
+		}
+	}
+	if c, ok := r.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && rerr == nil {
+			rerr = fmt.Errorf("scan: closing %q: %w", src.Name, cerr)
+		}
+	}
+	if rerr != nil {
+		return rerr
+	}
+	if total != src.Size {
+		return errs.Corrupt("scan: %q declared %d bytes but content has %d", src.Name, src.Size, total)
+	}
+	for _, k := range set {
+		k.End()
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package textproc
+
+import (
+	"fmt"
+	"io"
+)
+
+// MultiSearcher counts occurrences of N literal patterns in one pass over
+// the haystack — an Aho–Corasick automaton with a dense byte-transition
+// table, so matching costs one table lookup per input byte regardless of
+// how many patterns are registered. Counting semantics match Searcher
+// exactly: every occurrence is counted, overlaps included, and the folded
+// variant lowercases ASCII letters on both sides.
+//
+// The automaton state is the entire cross-block carry: feeding a stream
+// in arbitrary block splits yields the same counts as one contiguous
+// buffer, because a match straddling a boundary is simply an automaton
+// path that crosses a Feed call. No input bytes are ever re-buffered.
+type MultiSearcher struct {
+	patterns []string
+	folded   bool
+	next     [][256]int32 // dense goto: next[state][byte] -> state
+	out      [][]int32    // pattern indices completed upon entering state
+}
+
+// MatchState is an automaton position carried across Feed calls. The zero
+// value, returned by Start, is the initial state.
+type MatchState int32
+
+// NewMultiSearcher builds a case-sensitive multi-pattern searcher. At
+// least one pattern is required and none may be empty.
+func NewMultiSearcher(patterns []string) (*MultiSearcher, error) {
+	return newMultiSearcher(patterns, false)
+}
+
+// NewFoldedMultiSearcher builds an ASCII case-insensitive multi-pattern
+// searcher, with the same fold rule as NewFoldedSearcher: bytes 'A'-'Z'
+// compare equal to 'a'-'z', all other bytes compare exactly.
+func NewFoldedMultiSearcher(patterns []string) (*MultiSearcher, error) {
+	return newMultiSearcher(patterns, true)
+}
+
+func newMultiSearcher(patterns []string, folded bool) (*MultiSearcher, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("textproc: multi-searcher needs at least one pattern")
+	}
+	m := &MultiSearcher{
+		patterns: append([]string(nil), patterns...),
+		folded:   folded,
+	}
+
+	// Trie phase. Node 0 is the root; a zero edge means "absent" (the root
+	// can never be a child).
+	trie := [][256]int32{{}}
+	out := [][]int32{nil}
+	for pi, p := range patterns {
+		if p == "" {
+			return nil, fmt.Errorf("textproc: empty search pattern at index %d", pi)
+		}
+		cur := int32(0)
+		for i := 0; i < len(p); i++ {
+			c := p[i]
+			if folded && c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			nxt := trie[cur][c]
+			if nxt == 0 {
+				trie = append(trie, [256]int32{})
+				out = append(out, nil)
+				nxt = int32(len(trie) - 1)
+				trie[cur][c] = nxt
+			}
+			cur = nxt
+		}
+		out[cur] = append(out[cur], int32(pi))
+	}
+
+	// BFS phase: failure links collapse into a dense goto table, and each
+	// state's output set absorbs its failure state's outputs, so matching
+	// never walks fail chains at scan time.
+	fail := make([]int32, len(trie))
+	next := make([][256]int32, len(trie))
+	queue := make([]int32, 0, len(trie))
+	for c := 0; c < 256; c++ {
+		v := trie[0][c]
+		next[0][c] = v // absent edges stay at the root
+		if v != 0 {
+			queue = append(queue, v)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		f := fail[u]
+		out[u] = append(out[u], out[f]...)
+		for c := 0; c < 256; c++ {
+			if v := trie[u][c]; v != 0 {
+				fail[v] = next[f][c]
+				next[u][c] = v
+				queue = append(queue, v)
+			} else {
+				next[u][c] = next[f][c]
+			}
+		}
+	}
+	m.next = next
+	m.out = out
+	return m, nil
+}
+
+// NumPatterns returns how many patterns the searcher matches; counts
+// slices passed to Feed must have at least this length.
+func (m *MultiSearcher) NumPatterns() int { return len(m.patterns) }
+
+// Patterns returns the patterns in registration order (the index order of
+// every counts slice). The slice is owned by the searcher.
+func (m *MultiSearcher) Patterns() []string { return m.patterns }
+
+// Start returns the initial automaton state for a new stream.
+func (m *MultiSearcher) Start() MatchState { return 0 }
+
+// Feed advances the automaton over p, incrementing counts[i] once per
+// occurrence of pattern i that ends within p (overlaps included), and
+// returns the state to pass to the next Feed. Splitting a stream into
+// blocks at any boundaries yields the same counts as one contiguous
+// buffer.
+func (m *MultiSearcher) Feed(st MatchState, p []byte, counts []int64) MatchState {
+	s := int32(st)
+	next, out := m.next, m.out
+	if m.folded {
+		for _, c := range p {
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			s = next[s][c]
+			for _, pi := range out[s] {
+				counts[pi]++
+			}
+		}
+	} else {
+		for _, c := range p {
+			s = next[s][c]
+			for _, pi := range out[s] {
+				counts[pi]++
+			}
+		}
+	}
+	return MatchState(s)
+}
+
+// CountBytes counts every occurrence of every pattern in data, returning
+// one count per pattern in registration order. Overlapping occurrences
+// all count, matching Searcher.CountBytes per pattern.
+func (m *MultiSearcher) CountBytes(data []byte) []int64 {
+	counts := make([]int64, len(m.patterns))
+	m.Feed(m.Start(), data, counts)
+	return counts
+}
+
+// CountReader streams r through the automaton and returns per-pattern
+// counts. The window is recycled from the shared grep pool; nothing is
+// carried between blocks except the automaton state.
+func (m *MultiSearcher) CountReader(r io.Reader) ([]int64, error) {
+	counts := make([]int64, len(m.patterns))
+	bp := windowPool.Get().(*[]byte)
+	defer windowPool.Put(bp)
+	buf := (*bp)[:grepBufSize]
+	st := m.Start()
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			st = m.Feed(st, buf[:n], counts)
+		}
+		if err == io.EOF {
+			return counts, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}

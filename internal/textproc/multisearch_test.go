@@ -1,0 +1,108 @@
+package textproc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMultiSearcherMatchesSearcherPerPattern(t *testing.T) {
+	patterns := []string{"ab", "abab", "ba", "b", "xyz", "aa"}
+	texts := []string{
+		"",
+		"a",
+		"ababab",
+		"aaaa",
+		"the ability of a crab to grab a kebab",
+		strings.Repeat("ab", 500) + "xyz" + strings.Repeat("ba", 300),
+	}
+	ms, err := NewMultiSearcher(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range texts {
+		got := ms.CountBytes([]byte(text))
+		for i, p := range patterns {
+			s, err := NewSearcher(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := s.CountBytes([]byte(text)); got[i] != want {
+				t.Errorf("text %.20q pattern %q: %d, want %d", text, p, got[i], want)
+			}
+		}
+	}
+}
+
+func TestMultiSearcherOverlappingCounts(t *testing.T) {
+	ms, err := NewMultiSearcher([]string{"aa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlaps all count: "aaaa" holds three "aa", same as Searcher.
+	if got := ms.CountBytes([]byte("aaaa"))[0]; got != 3 {
+		t.Fatalf("overlapping count = %d, want 3", got)
+	}
+}
+
+func TestMultiSearcherBlockSplitInvariance(t *testing.T) {
+	patterns := []string{"needle", "edl", "ene", "needleneedle"}
+	text := bytes.Repeat([]byte("a needleneedle in a haystackneedle "), 20)
+	ms, err := NewMultiSearcher(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ms.CountBytes(text)
+	for _, block := range []int{1, 2, 3, 5, 7, 64} {
+		counts := make([]int64, ms.NumPatterns())
+		st := ms.Start()
+		for off := 0; off < len(text); off += block {
+			end := off + block
+			if end > len(text) {
+				end = len(text)
+			}
+			st = ms.Feed(st, text[off:end], counts)
+		}
+		for i := range want {
+			if counts[i] != want[i] {
+				t.Fatalf("block=%d pattern %q: %d, want %d (boundary straddle lost)",
+					block, patterns[i], counts[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMultiSearcherCountReader(t *testing.T) {
+	ms, err := NewMultiSearcher([]string{"one", "two"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Repeat("one two twone ", 10000) // spans several windows
+	got, err := ms.CountReader(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ms.CountBytes([]byte(text))
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("CountReader %v, want %v", got, want)
+	}
+}
+
+func TestMultiSearcherRejectsBadPatterns(t *testing.T) {
+	if _, err := NewMultiSearcher(nil); err == nil {
+		t.Error("empty pattern list accepted")
+	}
+	if _, err := NewMultiSearcher([]string{"ok", ""}); err == nil {
+		t.Error("empty pattern accepted")
+	}
+}
+
+func TestFoldedMultiSearcherFoldsASCIIOnly(t *testing.T) {
+	ms, err := NewFoldedMultiSearcher([]string{"AbC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ms.CountBytes([]byte("abc ABC aBc abd"))[0]; got != 3 {
+		t.Fatalf("folded count = %d, want 3", got)
+	}
+}

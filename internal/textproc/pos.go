@@ -108,6 +108,43 @@ func lowerWord(word string) string {
 	return word
 }
 
+// KnownWord reports whether a word (raw token bytes) is in the lexicon —
+// the same membership test tagInto uses to count a token as Unknown, so
+// single-pass kernels can compute out-of-vocabulary rates identical to
+// TagText without tagging. Allocation-free for tokenizer-produced words:
+// the compiler elides the string conversion for map lookups, and ASCII
+// uppercase is folded through a stack buffer.
+func (t *Tagger) KnownWord(word []byte) bool {
+	upper, wide := false, false
+	for _, c := range word {
+		if c >= 'A' && c <= 'Z' {
+			upper = true
+		} else if c >= 0x80 {
+			wide = true
+		}
+	}
+	if !upper {
+		_, ok := t.lex[string(word)]
+		return ok
+	}
+	if wide || len(word) > 64 {
+		// Mixed ASCII-uppercase and multi-byte runes: defer to the exact
+		// lowerWord (Unicode-aware) path tagInto takes.
+		_, ok := t.lex[lowerWord(string(word))]
+		return ok
+	}
+	var buf [64]byte
+	b := buf[:len(word)]
+	for i, c := range word {
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b[i] = c
+	}
+	_, ok := t.lex[string(b)]
+	return ok
+}
+
 // GuessTag assigns a tag to an out-of-vocabulary word from surface clues:
 // digits, capitalisation and derivational suffixes.
 func GuessTag(word string) lexicon.Tag {

@@ -1,0 +1,341 @@
+package textproc
+
+import (
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/scan"
+)
+
+// StreamAnalyzer computes TextStats incrementally over a byte stream fed
+// in arbitrary blocks, producing exactly what Analyze returns on the
+// concatenated bytes — the differential tests pin this bit-for-bit. The
+// cross-block carry is bounded: the in-flight token only (an open word's
+// bytes when a word callback is registered, or at most the first four
+// bytes of an open rune chunk); completed bytes are never re-buffered.
+//
+// An optional word callback observes every non-punctuation token as it
+// completes (word bytes are valid only during the call). That is how the
+// POS-complexity kernel counts out-of-vocabulary words in the same single
+// pass, without re-tokenising.
+type StreamAnalyzer struct {
+	onWord func(word []byte)
+
+	st    TextStats
+	lines int64
+
+	sentWords    int // words in the current (open) sentence
+	tokensInSent int // tokens in the current (open) sentence
+
+	inWord  bool
+	wordBuf []byte // open word's bytes carried across blocks (callback mode only)
+
+	inChunk  bool
+	chunkLen int     // total bytes in the open rune chunk (may exceed 4)
+	chunkBuf [4]byte // first (up to) four bytes — all DecodeRune can use
+}
+
+// NewStreamAnalyzer returns a streaming analyzer. onWord may be nil when
+// only the statistics are wanted.
+func NewStreamAnalyzer(onWord func(word []byte)) *StreamAnalyzer {
+	return &StreamAnalyzer{onWord: onWord}
+}
+
+// Reset clears all accumulation so the analyzer can take a new stream.
+// The word callback and carry buffer capacity are retained.
+func (a *StreamAnalyzer) Reset() {
+	a.st = TextStats{}
+	a.lines = 0
+	a.sentWords = 0
+	a.tokensInSent = 0
+	a.inWord = false
+	a.wordBuf = a.wordBuf[:0]
+	a.inChunk = false
+	a.chunkLen = 0
+}
+
+// Block feeds the next window of the stream. Token boundaries are the
+// tokenizer's: words are maximal [a-zA-Z0-9'] runs, whitespace separates,
+// and any other byte starts a chunk that absorbs following UTF-8
+// continuation bytes.
+func (a *StreamAnalyzer) Block(p []byte) {
+	i, n := 0, len(p)
+	for i < n {
+		c := p[i]
+		switch {
+		case a.inChunk && c&0xC0 == 0x80:
+			if a.chunkLen < len(a.chunkBuf) {
+				a.chunkBuf[a.chunkLen] = c
+			}
+			a.chunkLen++
+			i++
+		case a.inChunk:
+			a.finishChunk() // c is re-dispatched on the next iteration
+		case isWordByte(c):
+			start := i
+			for i < n && isWordByte(p[i]) {
+				i++
+			}
+			a.inWord = true
+			if i == n {
+				// Word still open at the block edge: carry its bytes (only
+				// needed when a callback wants them).
+				if a.onWord != nil {
+					a.wordBuf = append(a.wordBuf, p[start:]...)
+				}
+				return
+			}
+			a.endWord(p[start:i])
+		case a.inWord:
+			// Word carried in from the previous block ends here; its bytes
+			// are entirely in wordBuf. c is re-dispatched next iteration.
+			a.endWord(nil)
+		case c == ' ' || c == '\n' || c == '\t' || c == '\r':
+			if c == '\n' {
+				a.lines++
+			}
+			i++
+		default:
+			a.inChunk = true
+			a.chunkBuf[0] = c
+			a.chunkLen = 1
+			i++
+		}
+	}
+}
+
+// Finish closes any in-flight token and the trailing sentence fragment,
+// then returns the final statistics and newline count. The analyzer must
+// be Reset before reuse.
+func (a *StreamAnalyzer) Finish() (TextStats, int64) {
+	if a.inChunk {
+		a.finishChunk()
+	}
+	if a.inWord {
+		a.endWord(nil)
+	}
+	if a.tokensInSent > 0 {
+		a.closeSentence()
+	}
+	if a.st.Sentences > 0 {
+		a.st.MeanSentence = float64(a.st.Words) / float64(a.st.Sentences)
+	}
+	return a.st, a.lines
+}
+
+// endWord completes the open word token; tail holds the word's bytes from
+// the current block (nil when they are all in wordBuf).
+func (a *StreamAnalyzer) endWord(tail []byte) {
+	a.st.Tokens++
+	a.tokensInSent++
+	a.st.Words++
+	a.sentWords++
+	if a.onWord != nil {
+		word := tail
+		if len(a.wordBuf) > 0 {
+			a.wordBuf = append(a.wordBuf, tail...)
+			word = a.wordBuf
+		}
+		a.onWord(word)
+		a.wordBuf = a.wordBuf[:0]
+	}
+	a.inWord = false
+}
+
+// finishChunk classifies the completed rune chunk exactly as Tokenize
+// does: it is a word token iff its bytes decode to a single letter or
+// digit rune spanning the whole chunk; a lone '.', '!' or '?' ends the
+// sentence.
+func (a *StreamAnalyzer) finishChunk() {
+	a.st.Tokens++
+	a.tokensInSent++
+	word := false
+	if a.chunkLen <= len(a.chunkBuf) {
+		chunk := a.chunkBuf[:a.chunkLen]
+		if r, size := utf8.DecodeRune(chunk); size == a.chunkLen &&
+			(unicode.IsLetter(r) || unicode.IsDigit(r)) {
+			word = true
+		}
+	}
+	switch {
+	case word:
+		a.st.Words++
+		a.sentWords++
+		if a.onWord != nil {
+			a.onWord(a.chunkBuf[:a.chunkLen])
+		}
+	case a.chunkLen == 1 && (a.chunkBuf[0] == '.' || a.chunkBuf[0] == '!' || a.chunkBuf[0] == '?'):
+		a.closeSentence()
+	}
+	a.inChunk = false
+	a.chunkLen = 0
+}
+
+func (a *StreamAnalyzer) closeSentence() {
+	a.st.Sentences++
+	if a.sentWords > a.st.MaxSentence {
+		a.st.MaxSentence = a.sentWords
+	}
+	a.sentWords = 0
+	a.tokensInSent = 0
+}
+
+// FileStats is one scanned file's text measurements.
+type FileStats struct {
+	Name  string
+	Stats TextStats
+	Lines int64
+}
+
+// StatsKernel is the token/sentence/line statistics scan kernel. After a
+// run it holds per-file stats in input order plus corpus totals.
+type StatsKernel struct {
+	an   StreamAnalyzer
+	name string
+	cur  FileStats
+
+	files []FileStats
+	total TextStats
+	lines int64
+}
+
+// NewStatsKernel returns a stats kernel prototype.
+func NewStatsKernel() *StatsKernel { return &StatsKernel{} }
+
+// Fork implements scan.Kernel.
+func (k *StatsKernel) Fork() scan.Kernel { return &StatsKernel{} }
+
+// Begin implements scan.Kernel.
+func (k *StatsKernel) Begin(src scan.Source) {
+	k.an.Reset()
+	k.name = src.Name
+}
+
+// Block implements scan.Kernel.
+func (k *StatsKernel) Block(p []byte) { k.an.Block(p) }
+
+// End implements scan.Kernel.
+func (k *StatsKernel) End() {
+	st, lines := k.an.Finish()
+	k.cur = FileStats{Name: k.name, Stats: st, Lines: lines}
+}
+
+// Merge implements scan.Kernel: the completed file is appended in input
+// order and folded into the corpus totals.
+func (k *StatsKernel) Merge(other scan.Kernel) {
+	o := other.(*StatsKernel)
+	k.files = append(k.files, o.cur)
+	st := o.cur.Stats
+	k.total.Tokens += st.Tokens
+	k.total.Words += st.Words
+	k.total.Sentences += st.Sentences
+	if st.MaxSentence > k.total.MaxSentence {
+		k.total.MaxSentence = st.MaxSentence
+	}
+	k.lines += o.cur.Lines
+}
+
+// Files returns per-file stats in input order; the slice is owned by the
+// kernel.
+func (k *StatsKernel) Files() []FileStats { return k.files }
+
+// Total returns corpus-wide statistics: summed counts, max sentence, and
+// the mean recomputed over all sentences.
+func (k *StatsKernel) Total() TextStats {
+	t := k.total
+	if t.Sentences > 0 {
+		t.MeanSentence = float64(t.Words) / float64(t.Sentences)
+	}
+	return t
+}
+
+// Lines returns the corpus-wide newline count.
+func (k *StatsKernel) Lines() int64 { return k.lines }
+
+// FilePatternCount is one scanned file's per-pattern match counts.
+type FilePatternCount struct {
+	Name    string
+	Bytes   int64
+	Counts  []int64 // per pattern, registration order
+	Matches int64   // sum over Counts
+}
+
+// MatchKernel is the multi-pattern grep scan kernel: one MultiSearcher
+// automaton pass per file, counts per pattern. The automaton state is the
+// whole block-boundary carry.
+type MatchKernel struct {
+	ms *MultiSearcher
+	st MatchState
+
+	name   string
+	bytes  int64
+	counts []int64
+
+	files  []FilePatternCount
+	totals []int64
+}
+
+// NewMatchKernel returns a match kernel prototype over the searcher.
+func NewMatchKernel(ms *MultiSearcher) *MatchKernel {
+	return &MatchKernel{ms: ms, totals: make([]int64, ms.NumPatterns())}
+}
+
+// Searcher returns the underlying MultiSearcher.
+func (k *MatchKernel) Searcher() *MultiSearcher { return k.ms }
+
+// Fork implements scan.Kernel: forks share the automaton (read-only) but
+// not counts.
+func (k *MatchKernel) Fork() scan.Kernel { return &MatchKernel{ms: k.ms} }
+
+// Begin implements scan.Kernel.
+func (k *MatchKernel) Begin(src scan.Source) {
+	k.st = k.ms.Start()
+	k.name = src.Name
+	k.bytes = src.Size
+	if k.counts == nil {
+		k.counts = make([]int64, k.ms.NumPatterns())
+	} else {
+		for i := range k.counts {
+			k.counts[i] = 0
+		}
+	}
+}
+
+// Block implements scan.Kernel.
+func (k *MatchKernel) Block(p []byte) { k.st = k.ms.Feed(k.st, p, k.counts) }
+
+// End implements scan.Kernel.
+func (k *MatchKernel) End() {}
+
+// Merge implements scan.Kernel: the forked instance's counts are copied
+// out (its scratch slice is recycled with the kernel set) and folded into
+// the totals.
+func (k *MatchKernel) Merge(other scan.Kernel) {
+	o := other.(*MatchKernel)
+	fc := FilePatternCount{
+		Name:   o.name,
+		Bytes:  o.bytes,
+		Counts: append([]int64(nil), o.counts...),
+	}
+	for i, c := range o.counts {
+		fc.Matches += c
+		k.totals[i] += c
+	}
+	k.files = append(k.files, fc)
+}
+
+// Files returns per-file counts in input order; the slice is owned by the
+// kernel.
+func (k *MatchKernel) Files() []FilePatternCount { return k.files }
+
+// Totals returns corpus-wide per-pattern counts in registration order.
+func (k *MatchKernel) Totals() []int64 { return k.totals }
+
+// TotalMatches returns the corpus-wide match count across all patterns.
+func (k *MatchKernel) TotalMatches() int64 {
+	var t int64
+	for _, c := range k.totals {
+		t += c
+	}
+	return t
+}

@@ -1,0 +1,123 @@
+package textproc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// analyzerTexts exercise every tokenizer edge: sentence enders, trailing
+// fragments, apostrophes, multi-byte word and punctuation runes, bare
+// continuation bytes, and pathological whitespace.
+var analyzerTexts = []string{
+	"",
+	"   \n\t\r  ",
+	"Hello world. How are you? I'm fine! trailing fragment",
+	"one.two.three...",
+	"café déjà-vu — naïve. 北京 is a city. é",
+	"words\nacross\nlines\nwith no sentence end",
+	"\x80\x80 stray continuation \xC3 lone lead \xC3\xA9 ok",
+	"!?.",
+	strings.Repeat("a sentence with seven words in it. ", 40),
+	"don't can't won't o'clock '''",
+}
+
+func TestStreamAnalyzerMatchesAnalyzeAtAnySplit(t *testing.T) {
+	for ti, text := range analyzerTexts {
+		data := []byte(text)
+		want := Analyze(data)
+		wantLines := int64(bytes.Count(data, []byte("\n")))
+		for _, block := range []int{1, 2, 3, 5, 7, 64, len(data) + 1} {
+			a := NewStreamAnalyzer(nil)
+			for off := 0; off < len(data); off += block {
+				end := off + block
+				if end > len(data) {
+					end = len(data)
+				}
+				a.Block(data[off:end])
+			}
+			st, lines := a.Finish()
+			if st != want {
+				t.Errorf("text %d block %d: stats %+v, want %+v", ti, block, st, want)
+			}
+			if lines != wantLines {
+				t.Errorf("text %d block %d: lines %d, want %d", ti, block, lines, wantLines)
+			}
+		}
+	}
+}
+
+func TestStreamAnalyzerWordCallbackSeesEveryWordToken(t *testing.T) {
+	for ti, text := range analyzerTexts {
+		data := []byte(text)
+		var want []string
+		for _, tok := range Tokenize(data) {
+			if !tok.Punct {
+				want = append(want, tok.Text)
+			}
+		}
+		for _, block := range []int{1, 3, 64} {
+			var got []string
+			a := NewStreamAnalyzer(func(w []byte) { got = append(got, string(w)) })
+			for off := 0; off < len(data); off += block {
+				end := off + block
+				if end > len(data) {
+					end = len(data)
+				}
+				a.Block(data[off:end])
+			}
+			a.Finish()
+			if len(got) != len(want) {
+				t.Fatalf("text %d block %d: %d words, want %d (%q vs %q)",
+					ti, block, len(got), len(want), got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("text %d block %d word %d: %q, want %q", ti, block, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestStreamAnalyzerResetClearsState(t *testing.T) {
+	a := NewStreamAnalyzer(nil)
+	a.Block([]byte("unfinished word and sen"))
+	a.Reset()
+	a.Block([]byte("two words."))
+	st, _ := a.Finish()
+	want := Analyze([]byte("two words."))
+	if st != want {
+		t.Fatalf("after Reset: %+v, want %+v", st, want)
+	}
+}
+
+func TestTaggerKnownWordMatchesLexiconMembership(t *testing.T) {
+	tagger := NewTagger()
+	words := []string{
+		"the", "The", "THE", "and", "zzzgibberish", "Errors",
+		"café", "O'Clock", "naïve", "12",
+		strings.Repeat("Long", 40), // > 64 bytes with uppercase
+	}
+	for _, w := range words {
+		want := func() bool {
+			_, ok := tagger.lex[lowerWord(w)]
+			return ok
+		}()
+		if got := tagger.KnownWord([]byte(w)); got != want {
+			t.Errorf("KnownWord(%q) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestTaggerKnownWordDoesNotAllocate(t *testing.T) {
+	tagger := NewTagger()
+	word := []byte("Window") // forces the fold path
+	allocs := testing.AllocsPerRun(100, func() {
+		tagger.KnownWord(word)
+		tagger.KnownWord([]byte("the")[:3])
+	})
+	if allocs > 0 {
+		t.Errorf("KnownWord allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -9,17 +9,23 @@ import (
 	"sync"
 
 	"repro/internal/errs"
-	"repro/internal/par"
+	"repro/internal/scan"
 )
 
 // Content integrity: reshaping must never corrupt data, and exported unit
 // files must be provably identical to their sources. Checksums are
 // FNV-64a — not cryptographic, but collision-safe enough for manifest
 // verification and fully deterministic.
+//
+// The corpus-wide operations here are thin wrappers over the fused scan
+// engine: BuildManifest and Manifest.Verify run a checksum-only scan.Run
+// (pooled block buffers and recycled kernel sets replace the per-file
+// hasher/window allocations the old loop paid), and CombinedChecksum is a
+// combined-checksum kernel under scan.RunOrdered (the fold order defines
+// the value, so it keeps List order with windowed content prefetch).
 
-// copyBufPool recycles the streaming windows used by Checksum and
-// CombinedChecksum; without it every io.Copy allocated a fresh 32 kB buffer,
-// which at manifest scale (one per file) dominated the allocation profile.
+// copyBufPool recycles the streaming window used by single-file Checksum;
+// without it every io.Copy allocated a fresh 32 kB buffer.
 var copyBufPool = sync.Pool{
 	New: func() any {
 		buf := make([]byte, 64*1024)
@@ -62,10 +68,21 @@ type ManifestEntry struct {
 	Checksum uint64
 }
 
-// BuildManifest checksums every content-backed file of the file system,
-// fanning the per-file FNV streams out over all CPUs. Each file's checksum
-// depends only on its own bytes, so the manifest is identical at any worker
-// count; errors surface in List order like the serial loop's.
+// checksumScan runs a checksum-only fused scan over the files — each file
+// opened and streamed exactly once, shard-sequentially for pack-backed
+// corpora — and returns the per-file sums.
+func checksumScan(ctx context.Context, files []File, workers int) ([]scan.FileSum, error) {
+	ck := scan.NewChecksum()
+	srcs := scan.SequentialOrder(Sources(files))
+	if err := scan.Run(ctx, srcs, scan.Options{Workers: workers}, ck); err != nil {
+		return nil, err
+	}
+	return ck.Sums(), nil
+}
+
+// BuildManifest checksums every content-backed file of the file system via
+// a checksum-only fused scan over all CPUs. Each file's checksum depends
+// only on its own bytes, so the manifest is identical at any worker count.
 func BuildManifest(fs *FS) (Manifest, error) {
 	return BuildManifestWorkersCtx(context.Background(), fs, 0)
 }
@@ -89,38 +106,40 @@ func BuildManifestWorkers(fs *FS, workers int) (Manifest, error) {
 // count.
 func BuildManifestWorkersCtx(ctx context.Context, fs *FS, workers int) (Manifest, error) {
 	files := fs.List()
-	sums := make([]uint64, len(files))
-	err := par.New(workers).ForEachCtx(ctx, len(files), func(i int) error {
-		sum, err := Checksum(files[i])
-		if err != nil {
-			return err
-		}
-		sums[i] = sum
-		return nil
-	})
+	sums, err := checksumScan(ctx, files, workers)
 	if err != nil {
 		return nil, err
 	}
 	m := make(Manifest, len(files))
-	for i, f := range files {
-		m[f.Name] = ManifestEntry{Size: f.Size, Checksum: sums[i]}
+	for _, s := range sums {
+		m[s.Name] = ManifestEntry{Size: s.Size, Checksum: s.Sum}
 	}
 	return m, nil
 }
 
 // Verify checks the file system against the manifest: every manifest entry
 // must exist with matching size and checksum, and the file system must not
-// contain extra files. The first violation is returned as an error.
+// contain extra files. The first violation (in name order) is returned as
+// an error. Content is checksummed by a fused scan — one open and one
+// streaming read per file, shard-sequential for packed corpora.
 func (m Manifest) Verify(fs *FS) error {
+	return m.VerifyCtx(context.Background(), fs)
+}
+
+// VerifyCtx is Verify with cancellation, following the usual typed-error
+// contract.
+func (m Manifest) VerifyCtx(ctx context.Context, fs *FS) error {
 	if fs.Len() != len(m) {
 		return errs.Corrupt("vfs: manifest has %d entries, file system %d files", len(m), fs.Len())
 	}
-	// Deterministic iteration for stable error messages.
+	// Deterministic iteration for stable error messages: cheap metadata
+	// checks first, in name order.
 	names := make([]string, 0, len(m))
 	for name := range m {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	files := make([]File, 0, len(m))
 	for _, name := range names {
 		want := m[name]
 		f, err := fs.Get(name)
@@ -131,13 +150,20 @@ func (m Manifest) Verify(fs *FS) error {
 			return errs.StageFile("manifest-verify", name,
 				errs.Corrupt("vfs: size %d != manifest %d", f.Size, want.Size))
 		}
-		sum, err := Checksum(f)
-		if err != nil {
-			return err
-		}
-		if sum != want.Checksum {
+		files = append(files, f)
+	}
+	sums, err := checksumScan(ctx, files, 0)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]uint64, len(sums))
+	for _, s := range sums {
+		byName[s.Name] = s.Sum
+	}
+	for _, name := range names {
+		if sum := byName[name]; sum != m[name].Checksum {
 			return errs.StageFile("manifest-verify", name,
-				errs.Corrupt("vfs: checksum %x != manifest %x", sum, want.Checksum))
+				errs.Corrupt("vfs: checksum %x != manifest %x", sum, m[name].Checksum))
 		}
 	}
 	return nil
@@ -150,10 +176,10 @@ func (m Manifest) Verify(fs *FS) error {
 // but never bytes.
 //
 // The hash itself is inherently sequential (each byte folds into the
-// running state), but content materialisation is not: a window of upcoming
-// files is read ahead concurrently while earlier bytes are folded in List
-// order, so the expensive part — regenerating file bytes — overlaps. The
-// resulting value is bit-identical to the fully serial fold.
+// running state), so this cannot be a per-file parallel scan; it is a
+// combined-checksum kernel under scan.RunOrdered, which prefetches a
+// window of upcoming files concurrently while earlier bytes fold in List
+// order. The resulting value is bit-identical to the fully serial fold.
 func CombinedChecksum(fs *FS) (uint64, error) {
 	return CombinedChecksumCtx(context.Background(), fs)
 }
@@ -163,58 +189,10 @@ func CombinedChecksum(fs *FS) (uint64, error) {
 // so an abort lands within one window of work. A run that completes is
 // bit-identical to the non-ctx form.
 func CombinedChecksumCtx(ctx context.Context, fs *FS) (uint64, error) {
-	// Files above the prefetch cap are streamed at fold time instead of
-	// being materialised, bounding read-ahead memory at window × cap.
-	const maxPrefetch = 4 << 20
-	files := fs.List()
-	h := fnv.New64a()
-	pool := par.Default()
-	window := pool.Workers() * 2
-	if window < 2 {
-		window = 2
+	ck := scan.NewCombined()
+	// List order, not SequentialOrder: the fold order defines the value.
+	if err := scan.RunOrdered(ctx, Sources(fs.List()), scan.Options{}, ck); err != nil {
+		return 0, err
 	}
-	bufs := make([][]byte, len(files))
-	for lo := 0; lo < len(files); lo += window {
-		hi := lo + window
-		if hi > len(files) {
-			hi = len(files)
-		}
-		err := pool.ForEachCtx(ctx, hi-lo, func(k int) error {
-			i := lo + k
-			if files[i].Size > maxPrefetch {
-				return nil
-			}
-			data, err := files[i].ReadInto(bufs[i])
-			if err != nil {
-				return fmt.Errorf("vfs: combined checksum at %q: %w", files[i].Name, err)
-			}
-			bufs[i] = data
-			return nil
-		})
-		if err != nil {
-			return 0, err
-		}
-		for i := lo; i < hi; i++ {
-			if files[i].Size > maxPrefetch || bufs[i] == nil {
-				r, err := files[i].Open()
-				if err != nil {
-					return 0, fmt.Errorf("vfs: combined checksum at %q: %w", files[i].Name, err)
-				}
-				bp := copyBufPool.Get().(*[]byte)
-				_, err = io.CopyBuffer(h, r, *bp)
-				copyBufPool.Put(bp)
-				if err := closeReader(r, err); err != nil {
-					return 0, fmt.Errorf("vfs: combined checksum at %q: %w", files[i].Name, err)
-				}
-				continue
-			}
-			h.Write(bufs[i])
-			// Hand the backing array to a file one window ahead for reuse.
-			if j := i + window; j < len(files) {
-				bufs[j] = bufs[i][:0]
-			}
-			bufs[i] = nil
-		}
-	}
-	return h.Sum64(), nil
+	return ck.Sum(), nil
 }

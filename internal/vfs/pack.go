@@ -176,9 +176,11 @@ func ImportPackCtx(ctx context.Context, sources ...string) (*FS, io.Closer, erro
 		}
 		for _, m := range p.Members() {
 			m := m
+			// Locality (shard path + member offset) lets fused scans read
+			// each pack front to back instead of seeking per member.
 			f := NewContentFile(m.Name, m.Size, func() io.Reader {
 				return p.SectionReader(m)
-			})
+			}).WithLocality(p.Path(), m.Offset)
 			if err := fs.Add(f); err != nil {
 				set.Close()
 				return nil, nil, fmt.Errorf("vfs: import pack %s: %w", p.Path(), err)

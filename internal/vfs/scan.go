@@ -1,0 +1,34 @@
+package vfs
+
+import "repro/internal/scan"
+
+// Source adapts the file to a scan engine input, carrying pack locality
+// so SequentialOrder can keep pack reads sequential on disk.
+func (f File) Source() scan.Source {
+	return scan.Source{
+		Name:    f.Name,
+		Size:    f.Size,
+		Shard:   f.shard,
+		Offset:  f.shardOff,
+		Content: &f,
+	}
+}
+
+// Sources adapts a file list to scan engine inputs, preserving order. The
+// sources reference the given slice's elements directly (a *File in an
+// interface word costs no allocation), so the slice must stay alive and
+// unmutated for the duration of the scan.
+func Sources(files []File) []scan.Source {
+	out := make([]scan.Source, len(files))
+	for i := range files {
+		f := &files[i]
+		out[i] = scan.Source{
+			Name:    f.Name,
+			Size:    f.Size,
+			Shard:   f.shard,
+			Offset:  f.shardOff,
+			Content: f,
+		}
+	}
+	return out
+}

@@ -29,10 +29,16 @@ import (
 type Opener func() io.Reader
 
 // File is a named, sized blob with optional lazily-materialised content.
+// Pack-backed files additionally carry locality — which shard container
+// holds their bytes and at what offset — so scans can order reads
+// sequentially on disk.
 type File struct {
 	Name    string
 	Size    int64
 	content Opener
+
+	shard    string // container (pack shard) path, "" for standalone files
+	shardOff int64  // byte offset of the content within the container
 }
 
 // NewFile creates a metadata-only file (no content source).
@@ -73,6 +79,20 @@ func (r *sliceReader) Read(p []byte) (int, error) {
 	r.off += n
 	return n, nil
 }
+
+// WithLocality returns a copy of the file annotated with its physical
+// location: the shard container path holding its bytes and the offset
+// within it. ImportPack sets this so SequentialOrder can walk each pack
+// front to back.
+func (f File) WithLocality(shard string, offset int64) File {
+	f.shard = shard
+	f.shardOff = offset
+	return f
+}
+
+// Locality returns the file's shard container path and byte offset
+// within it; shard is "" for files that are not pack-backed.
+func (f File) Locality() (shard string, offset int64) { return f.shard, f.shardOff }
 
 // HasContent reports whether the file carries a content source.
 func (f File) HasContent() bool { return f.content != nil }

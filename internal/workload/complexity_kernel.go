@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"repro/internal/scan"
+	"repro/internal/textproc"
+)
+
+// FileComplexity is one scanned file's POS-complexity estimate.
+type FileComplexity struct {
+	Name       string
+	Complexity float64
+}
+
+// ComplexityKernel estimates per-file POS-tagging complexity in a single
+// streaming pass: the stream analyzer supplies sentence-shape statistics
+// and its word callback counts out-of-vocabulary tokens via the tagger's
+// lexicon-membership test. The result for each file equals
+// ComplexityOf(content, tagger) bit-for-bit — TagText's Unknown/Words
+// ratio is exactly lexicon membership counted over non-punctuation
+// tokens, so no tagging is needed.
+type ComplexityKernel struct {
+	tagger  *textproc.Tagger
+	an      *textproc.StreamAnalyzer
+	unknown int
+
+	name string
+	cur  FileComplexity
+
+	files []FileComplexity
+}
+
+// NewComplexityKernel returns a complexity kernel prototype over the
+// tagger's lexicon.
+func NewComplexityKernel(t *textproc.Tagger) *ComplexityKernel {
+	k := &ComplexityKernel{tagger: t}
+	k.an = textproc.NewStreamAnalyzer(func(word []byte) {
+		if !t.KnownWord(word) {
+			k.unknown++
+		}
+	})
+	return k
+}
+
+// Fork implements scan.Kernel: forks share the tagger (read-only lexicon)
+// but nothing else.
+func (k *ComplexityKernel) Fork() scan.Kernel { return NewComplexityKernel(k.tagger) }
+
+// Begin implements scan.Kernel.
+func (k *ComplexityKernel) Begin(src scan.Source) {
+	k.an.Reset()
+	k.unknown = 0
+	k.name = src.Name
+}
+
+// Block implements scan.Kernel.
+func (k *ComplexityKernel) Block(p []byte) { k.an.Block(p) }
+
+// End implements scan.Kernel.
+func (k *ComplexityKernel) End() {
+	st, _ := k.an.Finish()
+	oov := 0.0
+	if st.Words > 0 {
+		oov = float64(k.unknown) / float64(st.Words)
+	}
+	k.cur = FileComplexity{Name: k.name, Complexity: ComplexityFromStats(st, oov)}
+}
+
+// Merge implements scan.Kernel.
+func (k *ComplexityKernel) Merge(other scan.Kernel) {
+	k.files = append(k.files, other.(*ComplexityKernel).cur)
+}
+
+// Files returns per-file complexities in input order; the slice is owned
+// by the kernel.
+func (k *ComplexityKernel) Files() []FileComplexity { return k.files }
+
+// Map returns the complexities keyed by file name — the shape
+// core.Pipeline's profiled runs consume.
+func (k *ComplexityKernel) Map() map[string]float64 {
+	m := make(map[string]float64, len(k.files))
+	for _, f := range k.files {
+		m[f.Name] = f.Complexity
+	}
+	return m
+}

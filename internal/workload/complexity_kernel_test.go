@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/scan"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+)
+
+// TestComplexityKernelMatchesComplexityOf pins the single-pass kernel to
+// the two-pass reference (Analyze + TagText) bit-for-bit, across worker
+// counts and with a block size small enough that words straddle blocks.
+func TestComplexityKernelMatchesComplexityOf(t *testing.T) {
+	tagger := textproc.NewTagger()
+	texts := []string{
+		"",
+		"The quick brown fox jumps over the lazy dog.",
+		"Zzyzzx glorptal frobnak unknownia! Another flurmish sentence?",
+		"Short. " + strings.Repeat("a normal sentence with the usual words. ", 12),
+		"café déjà 北京 mixed Unicode and the occasional known word.",
+	}
+	fs := vfs.NewFS()
+	for i, text := range texts {
+		if err := fs.Add(vfs.BytesFile(fmt.Sprintf("f-%d", i), []byte(text))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files := fs.List()
+	want := make([]float64, len(files))
+	for i, f := range files {
+		data, err := f.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ComplexityOf(data, tagger)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		k := NewComplexityKernel(tagger)
+		err := scan.Run(context.Background(), vfs.Sources(files),
+			scan.Options{Workers: workers, BlockSize: 5}, k)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := k.Files()
+		if len(got) != len(files) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(files))
+		}
+		for i, fc := range got {
+			if fc.Name != files[i].Name {
+				t.Fatalf("workers=%d: result %d is %q, want %q", workers, i, fc.Name, files[i].Name)
+			}
+			if fc.Complexity != want[i] {
+				t.Errorf("workers=%d %s: complexity %v, want %v", workers, fc.Name, fc.Complexity, want[i])
+			}
+		}
+		m := k.Map()
+		for i, f := range files {
+			if m[f.Name] != want[i] {
+				t.Errorf("Map()[%s] = %v, want %v", f.Name, m[f.Name], want[i])
+			}
+		}
+	}
+}

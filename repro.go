@@ -14,6 +14,7 @@
 //   - internal/cloudsim:  the deterministic EC2 simulator
 //   - internal/corpus:    synthetic Newslab-like corpora
 //   - internal/textproc:  real grep and POS-tagging kernels
+//   - internal/scan:      fused streaming scan (one read per file, N kernels)
 //   - internal/sched:     dynamic monitoring and spot plans (§7 extensions)
 //
 // Quick start:
@@ -57,6 +58,23 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) { return core.New(cfg) }
 // Reshape packs a corpus's files into unit files of the given size and
 // returns the merged file system plus the packing manifest.
 var Reshape = core.Reshape
+
+// Fused measurement: one open and one streaming read per corpus file
+// feeds every requested kernel (checksum, text stats, multi-pattern
+// match counts, POS complexity) with bit-identical results at any
+// worker count. See internal/scan and DESIGN.md §7.
+type (
+	// Measurement is the artefact of one fused scan.
+	Measurement = core.Measurement
+	// MeasureOptions selects the optional kernels.
+	MeasureOptions = core.MeasureOptions
+)
+
+// Measure runs one fused scan over every file of a content-backed corpus.
+var Measure = core.Measure
+
+// MeasureCtx is Measure with cancellation.
+var MeasureCtx = core.MeasureCtx
 
 // Corpus construction.
 type (
@@ -118,6 +136,13 @@ func NewPOSApp() App { return workload.NewPOS() }
 // NewSearcher compiles a literal streaming search pattern (the real grep
 // kernel, for running over content-backed corpora).
 var NewSearcher = textproc.NewSearcher
+
+// NewMultiSearcher compiles N literal patterns into one Aho–Corasick
+// automaton, so counting all of them costs a single pass over the bytes.
+var NewMultiSearcher = textproc.NewMultiSearcher
+
+// NewFoldedMultiSearcher is NewMultiSearcher with ASCII case folding.
+var NewFoldedMultiSearcher = textproc.NewFoldedMultiSearcher
 
 // NewTagger builds the real lexicon-driven POS tagger.
 var NewTagger = textproc.NewTagger

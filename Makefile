@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify verify-quick bench bench-smoke bench-pack clean
+.PHONY: all build test test-nommap test-scandebug verify verify-quick bench bench-smoke bench-pack clean
 
 all: build
 
@@ -13,6 +13,16 @@ build:
 
 test:
 	$(GO) test ./...
+
+# test-nommap exercises the portable packstore fallback (pread into a
+# private buffer instead of mmap) that non-unix builds get unconditionally.
+test-nommap:
+	$(GO) test -tags packstore_nommap ./internal/packstore ./internal/vfs
+
+# test-scandebug runs the scan suite with recycled block buffers poisoned
+# (0xDB) so a kernel that retains a borrowed Block slice fails loudly.
+test-scandebug:
+	$(GO) test -tags scandebug ./internal/scan
 
 # verify is the tier-1 gate: vet clean and the full suite race-clean.
 # The ./... wildcard covers every package, including internal/packstore's

@@ -250,18 +250,51 @@ func main() {
 		}
 	}))
 
-	// Fused scan: the pass-fusion acceptance pair. The corpus is lazily
-	// generated — every open regenerates the file's bytes — so per-read
-	// cost dominates exactly as it does for many small files on disk. The
-	// fused run reads each file once feeding all four kernels; the
-	// multipass reference runs the same engine once per kernel, reading
-	// everything four times, which is what the pre-scan pipeline did
-	// (CombinedChecksum + ParallelGrep + ComplexityOf as separate passes).
-	lazyFS, err := corpus.GenerateWithContent(corpus.Text400K(0.0005), 8)
+	// Fused scan over a packed corpus — the zero-copy acceptance trio. The
+	// 200-file corpus is exported once as pack shards and as plain files:
+	//
+	//   - FusedScan200Files opens the shards memory-mapped; the engine
+	//     feeds all four kernels borrowed windows of the mapping (no block
+	//     buffers, no copies — the per-op allocations are the merge
+	//     frontier's amortised bookkeeping only).
+	//   - MultipassScan200Files is the pre-zero-copy pipeline over the same
+	//     shards: a streaming pack import read once per kernel, four full
+	//     copies of the corpus through pooled block buffers.
+	//   - FusedScanChecksum200Files isolates delivery cost: the same
+	//     engine and mapped corpus with one byte-touching kernel, so what
+	//     remains beyond the checksum fold is the cost of getting bytes to
+	//     a kernel.
+	//   - RawReadFile200Files is the floor: os.ReadFile over the plain
+	//     files, no kernels at all — just getting the bytes into memory.
+	//     fused_scan_vs_raw_read holds the single-kernel scan to within
+	//     ~2x of that floor; with the 4-kernel scan now CPU-bound in
+	//     kernel compute (see the per-op allocation collapse), delivery
+	//     overhead is the number zero-copy is accountable for.
+	packDir, err := os.MkdirTemp("", "bench-packstore")
 	if err != nil {
 		fatal(err)
 	}
-	scanSrcs := vfs.Sources(lazyFS.List())
+	defer os.RemoveAll(packDir)
+	shardDir := filepath.Join(packDir, "fixed")
+	if _, err := contentFS.ExportPackCtx(ctx, shardDir, vfs.PackOptions{ShardSize: 8 << 20}); err != nil {
+		fatal(err)
+	}
+	plainDir := filepath.Join(packDir, "plain")
+	if err := contentFS.ExportCtx(ctx, plainDir); err != nil {
+		fatal(err)
+	}
+	mappedFS, mappedCloser, err := vfs.ImportPackMapped(shardDir)
+	if err != nil {
+		fatal(err)
+	}
+	defer mappedCloser.Close()
+	streamFS, streamCloser, err := vfs.ImportPack(shardDir)
+	if err != nil {
+		fatal(err)
+	}
+	defer streamCloser.Close()
+	fusedSrcs := scan.SequentialOrder(vfs.Sources(mappedFS.List()))
+	streamSrcs := scan.SequentialOrder(vfs.Sources(streamFS.List()))
 	scanPatterns := []string{"the", "and", "president", "market", "city", "nation", "report", "error"}
 	ms, err := textproc.NewMultiSearcher(scanPatterns)
 	if err != nil {
@@ -279,7 +312,7 @@ func main() {
 	add(run("FusedScan200Files", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if err := scan.Run(ctx, scanSrcs, scan.Options{}, fourKernels()...); err != nil {
+			if err := scan.Run(ctx, fusedSrcs, scan.Options{}, fourKernels()...); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -288,7 +321,29 @@ func main() {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, k := range fourKernels() {
-				if err := scan.Run(ctx, scanSrcs, scan.Options{}, k); err != nil {
+				if err := scan.Run(ctx, streamSrcs, scan.Options{}, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}))
+	add(run("FusedScanChecksum200Files", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := scan.Run(ctx, fusedSrcs, scan.Options{}, scan.NewChecksum()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	rawPaths := make([]string, 0, contentFS.Len())
+	for _, f := range contentFS.List() {
+		rawPaths = append(rawPaths, filepath.Join(plainDir, filepath.FromSlash(f.Name)))
+	}
+	add(run("RawReadFile200Files", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range rawPaths {
+				if _, err := os.ReadFile(p); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -324,11 +379,6 @@ func main() {
 	// verify throughput over the same 200-file corpus, plus the O(1)
 	// random-access acceptance pair: reading one fixed-size member from a
 	// 32x larger pack must not cost more.
-	packDir, err := os.MkdirTemp("", "bench-packstore")
-	if err != nil {
-		fatal(err)
-	}
-	defer os.RemoveAll(packDir)
 	add(run("PackExport200Files", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -338,10 +388,6 @@ func main() {
 			}
 		}
 	}))
-	shardDir := filepath.Join(packDir, "fixed")
-	if _, err := contentFS.ExportPackCtx(ctx, shardDir, vfs.PackOptions{ShardSize: 8 << 20}); err != nil {
-		fatal(err)
-	}
 	add(run("PackImportChecksum200Files", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -393,9 +439,18 @@ func main() {
 		// ~1.0 demonstrates O(1) member access: one member's read cost is
 		// independent of how many members the pack holds.
 		"pack_random_access_2048_over_64": byName["PackRandomAccess1of2048"].NsPerOp / byName["PackRandomAccess1of64"].NsPerOp,
-		// The pass-fusion acceptance: one read feeding four kernels vs four
-		// sequential separate passes over the same 200 files (≥ 1.5x).
+		// The pass-fusion acceptance: the zero-copy fused scan (one mapped
+		// read feeding four kernels) vs the pre-zero-copy pipeline (four
+		// streaming passes through pooled buffers) over the same shards.
 		"fused_scan_speedup_vs_multipass": byName["MultipassScan200Files"].NsPerOp / byName["FusedScan200Files"].NsPerOp,
+		// The zero-copy acceptance (CI asserts ≤ 2.5): scanning the mapped
+		// pack through the engine with a real byte-touching kernel, held to
+		// within ~2x of raw os.ReadFile over the unpacked files. This
+		// isolates delivery overhead — the thing zero-copy removes — from
+		// kernel compute, which the 4-kernel FusedScan200Files is bound by.
+		// Below 1.0 means the mapped scan beats merely reading the files:
+		// no per-file opens, no per-file buffers.
+		"fused_scan_vs_raw_read": byName["FusedScanChecksum200Files"].NsPerOp / byName["RawReadFile200Files"].NsPerOp,
 		// One Aho–Corasick pass for 8 patterns vs 8 BMH passes.
 		"multisearch_speedup_vs_8_searchers": byName["SearcherPerPattern8x100kB"].NsPerOp / byName["MultiSearch8Patterns100kB"].NsPerOp,
 	}
@@ -408,10 +463,10 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear, pack access 2048/64 %.2fx, fused scan %.2fx vs multipass, multisearch %.2fx vs 8 searchers)\n",
+	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear, pack access 2048/64 %.2fx, fused scan %.2fx vs multipass, %.2fx of raw read, multisearch %.2fx vs 8 searchers)\n",
 		*out, o.Ratios["firstfit_speedup_vs_linear"], o.Ratios["subsetsum_speedup_vs_linear"],
 		o.Ratios["pack_random_access_2048_over_64"], o.Ratios["fused_scan_speedup_vs_multipass"],
-		o.Ratios["multisearch_speedup_vs_8_searchers"])
+		o.Ratios["fused_scan_vs_raw_read"], o.Ratios["multisearch_speedup_vs_8_searchers"])
 	if *snapshot {
 		snapPath := filepath.Join(filepath.Dir(*out),
 			fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102")))

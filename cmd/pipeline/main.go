@@ -76,10 +76,11 @@ func main() {
 	var fs *vfs.FS
 	var err error
 	if *packs != "" {
-		// Packed corpora read through shared per-shard handles; keep them
-		// open for the run.
+		// Packed corpora are memory-mapped: scans take the zero-copy path,
+		// reading borrowed windows of each shard mapping. Keep the mappings
+		// alive for the run.
 		var closer interface{ Close() error }
-		fs, closer, err = vfs.ImportPackCtx(ctx, strings.Split(*packs, ",")...)
+		fs, closer, err = vfs.ImportPackMappedCtx(ctx, strings.Split(*packs, ",")...)
 		if err == nil {
 			defer closer.Close()
 		}

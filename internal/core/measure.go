@@ -68,10 +68,19 @@ func Measure(corpusFS *vfs.FS, opts MeasureOptions) (*Measurement, error) {
 // MeasureCtx is Measure with cancellation. The scan reads pack-backed
 // corpora shard-sequentially; results are bit-identical at any worker
 // count. Errors carry the "measure" stage and the usual typed sentinels.
+// Corpora imported with vfs.ImportPackMapped automatically take the
+// zero-copy scan path: their sources carry raw views, so the kernels read
+// borrowed windows of the mapping.
 func MeasureCtx(ctx context.Context, corpusFS *vfs.FS, opts MeasureOptions) (*Measurement, error) {
-	files := corpusFS.List()
-	srcs := scan.SequentialOrder(vfs.Sources(files))
+	return MeasureSourcesCtx(ctx, scan.SequentialOrder(vfs.Sources(corpusFS.List())), opts)
+}
 
+// MeasureSourcesCtx is the source-level Measure: it runs the fused
+// measurement over an explicit, already-ordered source list. MeasureCtx
+// is a thin wrapper; callers that build sources themselves (pre-sliced
+// corpora, hand-picked shard subsets, benchmark baselines) use this
+// directly rather than materialising a throwaway FS.
+func MeasureSourcesCtx(ctx context.Context, srcs []scan.Source, opts MeasureOptions) (*Measurement, error) {
 	ck := scan.NewChecksum()
 	st := textproc.NewStatsKernel()
 	kernels := []scan.Kernel{ck, st}
@@ -107,8 +116,8 @@ func MeasureCtx(ctx context.Context, corpusFS *vfs.FS, opts MeasureOptions) (*Me
 	}
 
 	m := &Measurement{
-		Files:     len(files),
-		Manifest:  make(vfs.Manifest, len(files)),
+		Files:     len(srcs),
+		Manifest:  make(vfs.Manifest, len(srcs)),
 		Stats:     st.Total(),
 		Lines:     st.Lines(),
 		FileStats: st.Files(),

@@ -3,6 +3,7 @@ package packstore
 import (
 	"context"
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -112,6 +113,22 @@ func TestShardWriterAppendCtx(t *testing.T) {
 	if err := p.Verify(0); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// byteReader is a minimal io.Reader over a byte slice (Append sees only
+// Read, exactly as external streaming sources present themselves).
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
 }
 
 func TestWriterErrorsAreTyped(t *testing.T) {

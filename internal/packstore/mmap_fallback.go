@@ -1,0 +1,26 @@
+//go:build (!linux && !darwin) || packstore_nommap
+
+package packstore
+
+import "os"
+
+const mmapSupported = false
+
+// mapFile is the portable fallback: the shard is materialised once on
+// the heap through ReaderAt. MemberBytes views are subslices of that one
+// buffer, so the zero-copy member contract (and the differential tests
+// pinning it to the mmap path) hold identically — the fallback pays one
+// up-front copy of the shard instead of none, never one per member.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data, err := readFileAt(f, size)
+	return data, false, err
+}
+
+// unmapFile is a no-op: heap buffers are garbage-collected.
+func unmapFile([]byte) error { return nil }
+
+// adviseSequential is a no-op without a mapping to advise on.
+func adviseSequential([]byte) error { return nil }

@@ -1,0 +1,47 @@
+//go:build (linux || darwin) && !packstore_nommap
+
+package packstore
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mapFile maps size bytes of f read-only. When the mapping itself fails
+// (filesystems without mmap support, 32-bit length overflow) it degrades
+// to the heap-materialised fallback rather than failing the open — the
+// caller learns which path it got from the mapped flag.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	if int64(int(size)) != size {
+		data, err := readFileAt(f, size)
+		return data, false, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		data, rerr := readFileAt(f, size)
+		return data, false, rerr
+	}
+	return data, true, nil
+}
+
+// unmapFile releases a mapping produced by mapFile with mapped == true.
+func unmapFile(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}
+
+// adviseSequential hints read-ahead for a front-to-back scan of the
+// mapping.
+func adviseSequential(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+}

@@ -62,18 +62,25 @@ func (s *ShardWriter) roll() error {
 	return nil
 }
 
+// ensure rolls to a fresh shard when appending size more bytes to the
+// current one would exceed the target (and the shard is non-empty).
+func (s *ShardWriter) ensure(size int64) error {
+	if s.closed {
+		return fmt.Errorf("packstore: append to closed shard writer")
+	}
+	if s.w == nil || (s.target > 0 && s.w.Count() > 0 && s.w.DataSize()+size > s.target) {
+		return s.roll()
+	}
+	return nil
+}
+
 // Append stores one member, rolling to a new shard first when the
 // current shard is non-empty and adding size bytes would exceed the
 // target. Oversized members therefore get a shard of their own rather
 // than being rejected, mirroring the bin packers' oversized handling.
 func (s *ShardWriter) Append(name string, size int64, r io.Reader) error {
-	if s.closed {
-		return fmt.Errorf("packstore: append to closed shard writer")
-	}
-	if s.w == nil || (s.target > 0 && s.w.Count() > 0 && s.w.DataSize()+size > s.target) {
-		if err := s.roll(); err != nil {
-			return err
-		}
+	if err := s.ensure(size); err != nil {
+		return err
 	}
 	return s.w.Append(name, size, r)
 }
@@ -89,9 +96,13 @@ func (s *ShardWriter) AppendCtx(ctx context.Context, name string, size int64, r 
 	return s.Append(name, size, r)
 }
 
-// AppendBytes is Append over an in-memory payload.
+// AppendBytes is Append over an in-memory payload, taking the Writer's
+// zero-copy direct path (no intermediate reader or copy window).
 func (s *ShardWriter) AppendBytes(name string, data []byte) error {
-	return s.Append(name, int64(len(data)), &byteReader{data: data})
+	if err := s.ensure(int64(len(data))); err != nil {
+		return err
+	}
+	return s.w.AppendBytes(name, data)
 }
 
 // Close finalises the last shard. The ShardWriter is unusable afterwards.

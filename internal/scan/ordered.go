@@ -51,6 +51,9 @@ func RunOrdered(ctx context.Context, srcs []Source, opts Options, kernels ...Ker
 	// allocates one buffer per window slot instead of one per size bump.
 	var capHint int
 	for i := range srcs {
+		if srcs[i].Raw != nil {
+			continue // zero-copy sources never need a prefetch buffer
+		}
 		if srcs[i].Size <= maxPrefetch && int(srcs[i].Size) > capHint {
 			capHint = int(srcs[i].Size)
 		}
@@ -63,7 +66,7 @@ func RunOrdered(ctx context.Context, srcs []Source, opts Options, kernels ...Ker
 		}
 		err := pool.ForEachCtx(ctx, hi-lo, func(k int) error {
 			i := lo + k
-			if srcs[i].Size > maxPrefetch {
+			if srcs[i].Raw != nil || srcs[i].Size > maxPrefetch {
 				return nil
 			}
 			buf := bufs[i]
@@ -85,6 +88,14 @@ func RunOrdered(ctx context.Context, srcs []Source, opts Options, kernels ...Ker
 				return cerr
 			}
 			src := srcs[i]
+			if src.Raw != nil {
+				// Zero-copy source: feed borrowed windows directly, no
+				// prefetch buffer and no materialisation.
+				if err := scanRaw(src, kernels, blockSize); err != nil {
+					return err
+				}
+				continue
+			}
 			if src.Size > maxPrefetch || bufs[i] == nil {
 				// Oversized (or prefetch-skipped) file: stream it through a
 				// block buffer at fold time; scanOne drives Begin..End.

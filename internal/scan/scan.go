@@ -57,16 +57,36 @@ type OpenFunc func() (io.Reader, error)
 // Open implements Opener.
 func (f OpenFunc) Open() (io.Reader, error) { return f() }
 
+// BytesSource provides a source's complete content as a borrowed byte
+// slice — the zero-copy path for memory-mapped pack members. The slice
+// must stay valid and immutable for the duration of the scan; the engine
+// never writes through it and never frees it. Kernels still receive the
+// bytes in BlockSize windows (subslices, no copying), so the block-carry
+// contract and block-split determinism are identical to the streaming
+// path.
+type BytesSource interface {
+	Bytes() ([]byte, error)
+}
+
+// BytesFunc adapts a plain function to a BytesSource.
+type BytesFunc func() ([]byte, error)
+
+// Bytes implements BytesSource.
+func (f BytesFunc) Bytes() ([]byte, error) { return f() }
+
 // Source is one scannable input: a named, sized byte stream. Shard and
 // Offset optionally record the file's physical location inside a shared
 // container (a packstore shard): SequentialOrder uses them to keep reads
-// sequential on disk.
+// sequential on disk. A non-nil Raw switches the engine to the zero-copy
+// path: kernels are fed borrowed windows of Raw's slice and Content is
+// never opened — no block-buffer pool traffic at all.
 type Source struct {
 	Name    string
 	Size    int64
 	Shard   string
 	Offset  int64
 	Content Opener
+	Raw     BytesSource
 }
 
 // Kernel is a streaming computation fed one file at a time. The engine
@@ -77,8 +97,16 @@ type Source struct {
 // recycled across files.
 //
 // Block receives a window of the file's bytes, valid only for the
-// duration of the call; kernels must not retain it. Merge is called on
-// the prototype only, never concurrently.
+// duration of the call; kernels MUST NOT retain it (not even until End).
+// On the streaming path the window is a pooled buffer that another
+// worker will overwrite; on the zero-copy path it borrows a memory
+// mapping that is unmapped when the pack reader closes. A kernel that
+// needs bytes past the call must copy them into its own state (the
+// stream analyzer's in-flight word buffer is the model). Builds with the
+// `scandebug` tag poison recycled buffers with 0xDB so retention bugs
+// surface as garbage instead of silent corruption; `go test -race` runs
+// catch cross-worker retention. Merge is called on the prototype only,
+// never concurrently.
 type Kernel interface {
 	// Fork returns a fresh instance sharing the receiver's read-only
 	// configuration (pattern automata, lexicons) but no accumulation.
@@ -149,9 +177,16 @@ func Run(ctx context.Context, srcs []Source, opts Options, kernels ...Kernel) er
 
 	return pool.ForEachCtx(ctx, n, func(i int) error {
 		set := fork()
-		bp := bufs.Get().(*[]byte)
-		err := scanOne(srcs[i], set, *bp)
-		bufs.Put(bp)
+		var err error
+		if srcs[i].Raw != nil {
+			// Zero-copy path: borrowed windows, no pool traffic.
+			err = scanRaw(srcs[i], set, blockSize)
+		} else {
+			bp := bufs.Get().(*[]byte)
+			err = scanOne(srcs[i], set, *bp)
+			poison(*bp)
+			bufs.Put(bp)
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
@@ -172,6 +207,38 @@ func Run(ctx context.Context, srcs []Source, opts Options, kernels ...Kernel) er
 		}
 		return nil
 	})
+}
+
+// scanRaw feeds one zero-copy source through the kernel set: the
+// complete content comes back as one borrowed slice and kernels see it
+// in blockSize windows — subslices of the original, nothing copied, no
+// buffer recycled. The length is validated against the declared size,
+// the same corruption contract as the streaming path.
+func scanRaw(src Source, set []Kernel, blockSize int) error {
+	data, err := src.Raw.Bytes()
+	if err != nil {
+		return fmt.Errorf("scan: raw open %q: %w", src.Name, err)
+	}
+	if int64(len(data)) != src.Size {
+		return errs.Corrupt("scan: %q declared %d bytes but content has %d", src.Name, src.Size, len(data))
+	}
+	for _, k := range set {
+		k.Begin(src)
+	}
+	for off := 0; off < len(data); off += blockSize {
+		end := off + blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		b := data[off:end]
+		for _, k := range set {
+			k.Block(b)
+		}
+	}
+	for _, k := range set {
+		k.End()
+	}
+	return nil
 }
 
 // scanOne streams one source through the kernel set: exactly one Open,

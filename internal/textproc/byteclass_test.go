@@ -1,0 +1,72 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClassTableMatchesPredicates pins the shared tables to the original
+// predicate definitions, byte by byte over the full 256-entry range —
+// the tokenizer, stream analyzer, searchers and lexicon fold all read
+// these tables, so a drifted entry would silently change every scanner
+// at once.
+func TestClassTableMatchesPredicates(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		b := byte(c)
+		wantSpace := b == ' ' || b == '\n' || b == '\t' || b == '\r'
+		wantWord := b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '\''
+		wantLetter := b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+		wantDigit := b >= '0' && b <= '9'
+		wantUpper := b >= 'A' && b <= 'Z'
+		if got := isSpaceByte(b); got != wantSpace {
+			t.Errorf("isSpaceByte(%#x) = %v, want %v", b, got, wantSpace)
+		}
+		if got := isWordByte(b); got != wantWord {
+			t.Errorf("isWordByte(%#x) = %v, want %v", b, got, wantWord)
+		}
+		if got := Classes(b)&ClassLetter != 0; got != wantLetter {
+			t.Errorf("ClassLetter(%#x) = %v, want %v", b, got, wantLetter)
+		}
+		if got := Classes(b)&ClassDigit != 0; got != wantDigit {
+			t.Errorf("ClassDigit(%#x) = %v, want %v", b, got, wantDigit)
+		}
+		if got := isUpperByte(b); got != wantUpper {
+			t.Errorf("isUpperByte(%#x) = %v, want %v", b, got, wantUpper)
+		}
+	}
+}
+
+// TestFoldTableMatchesStringsToLower: the byte fold agrees with
+// strings.ToLower on every ASCII byte and is the identity elsewhere
+// (multi-byte runes must pass through untouched or UTF-8 would break).
+func TestFoldTableMatchesStringsToLower(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		b := byte(c)
+		got := Fold(b)
+		if b < 0x80 {
+			want := strings.ToLower(string(rune(b)))
+			if string(rune(got)) != want {
+				t.Errorf("Fold(%q) = %q, want %q", b, got, want)
+			}
+		} else if got != b {
+			t.Errorf("Fold(%#x) = %#x, want identity for non-ASCII", b, got)
+		}
+	}
+}
+
+// TestClassesAreDisjointWhereExpected: a byte is never both space and
+// word, and upper implies letter implies word.
+func TestClassesAreDisjointWhereExpected(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		cl := Classes(byte(c))
+		if cl&ClassSpace != 0 && cl&ClassWord != 0 {
+			t.Errorf("byte %#x is both space and word", c)
+		}
+		if cl&ClassUpper != 0 && cl&ClassLetter == 0 {
+			t.Errorf("byte %#x is upper but not letter", c)
+		}
+		if cl&ClassLetter != 0 && cl&ClassWord == 0 {
+			t.Errorf("byte %#x is letter but not word", c)
+		}
+	}
+}

@@ -65,10 +65,7 @@ func (s *Searcher) buildSkip() {
 func toLowerASCII(b []byte) []byte {
 	out := make([]byte, len(b))
 	for i, c := range b {
-		if c >= 'A' && c <= 'Z' {
-			c += 'a' - 'A'
-		}
-		out[i] = c
+		out[i] = foldTable[c]
 	}
 	return out
 }

@@ -18,7 +18,7 @@ func ExtractText(html []byte) []byte {
 	n := len(html)
 	lastSpace := true
 	writeByte := func(c byte) {
-		if c == ' ' || c == '\n' || c == '\t' || c == '\r' {
+		if isSpaceByte(c) {
 			if !lastSpace {
 				out.WriteByte(' ')
 				lastSpace = true
@@ -91,10 +91,7 @@ func openTagName(b []byte) (string, bool) {
 	j := 1
 	var name []byte
 	for j < len(b) {
-		c := b[j]
-		if c >= 'A' && c <= 'Z' {
-			c += 'a' - 'A'
-		}
+		c := foldTable[b[j]]
 		if c >= 'a' && c <= 'z' {
 			name = append(name, c)
 			j++

@@ -60,8 +60,8 @@ func newMultiSearcher(patterns []string, folded bool) (*MultiSearcher, error) {
 		cur := int32(0)
 		for i := 0; i < len(p); i++ {
 			c := p[i]
-			if folded && c >= 'A' && c <= 'Z' {
-				c += 'a' - 'A'
+			if folded {
+				c = foldTable[c]
 			}
 			nxt := trie[cur][c]
 			if nxt == 0 {
@@ -127,11 +127,10 @@ func (m *MultiSearcher) Feed(st MatchState, p []byte, counts []int64) MatchState
 	s := int32(st)
 	next, out := m.next, m.out
 	if m.folded {
+		// foldTable is the shared fold rule: one load per byte instead of a
+		// compare pair, and provably the same mapping the trie was built with.
 		for _, c := range p {
-			if c >= 'A' && c <= 'Z' {
-				c += 'a' - 'A'
-			}
-			s = next[s][c]
+			s = next[s][foldTable[c]]
 			for _, pi := range out[s] {
 				counts[pi]++
 			}

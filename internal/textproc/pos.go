@@ -101,7 +101,7 @@ func (t *Tagger) candidates(word string) ([]lexicon.Tag, bool) {
 // the overwhelmingly common case in running text.
 func lowerWord(word string) string {
 	for i := 0; i < len(word); i++ {
-		if c := word[i]; c >= 'A' && c <= 'Z' {
+		if isUpperByte(word[i]) {
 			return strings.ToLower(word)
 		}
 	}
@@ -117,7 +117,7 @@ func lowerWord(word string) string {
 func (t *Tagger) KnownWord(word []byte) bool {
 	upper, wide := false, false
 	for _, c := range word {
-		if c >= 'A' && c <= 'Z' {
+		if isUpperByte(c) {
 			upper = true
 		} else if c >= 0x80 {
 			wide = true
@@ -136,10 +136,7 @@ func (t *Tagger) KnownWord(word []byte) bool {
 	var buf [64]byte
 	b := buf[:len(word)]
 	for i, c := range word {
-		if c >= 'A' && c <= 'Z' {
-			c += 'a' - 'A'
-		}
-		b[i] = c
+		b[i] = foldTable[c]
 	}
 	_, ok := t.lex[string(b)]
 	return ok

@@ -90,7 +90,7 @@ func (a *StreamAnalyzer) Block(p []byte) {
 			// Word carried in from the previous block ends here; its bytes
 			// are entirely in wordBuf. c is re-dispatched next iteration.
 			a.endWord(nil)
-		case c == ' ' || c == '\n' || c == '\t' || c == '\r':
+		case isSpaceByte(c):
 			if c == '\n' {
 				a.lines++
 			}
@@ -273,6 +273,10 @@ type MatchKernel struct {
 
 	files  []FilePatternCount
 	totals []int64
+	// arena carves per-file Counts rows out of shared slabs: Merge runs
+	// strictly serially on the prototype, and one allocation per
+	// DefaultArenaSize counts replaces one exact-size copy per file.
+	arena scan.Int64Arena
 }
 
 // NewMatchKernel returns a match kernel prototype over the searcher.
@@ -308,14 +312,14 @@ func (k *MatchKernel) Block(p []byte) { k.st = k.ms.Feed(k.st, p, k.counts) }
 func (k *MatchKernel) End() {}
 
 // Merge implements scan.Kernel: the forked instance's counts are copied
-// out (its scratch slice is recycled with the kernel set) and folded into
-// the totals.
+// into the prototype's arena (its scratch slice is recycled with the
+// kernel set) and folded into the totals.
 func (k *MatchKernel) Merge(other scan.Kernel) {
 	o := other.(*MatchKernel)
 	fc := FilePatternCount{
 		Name:   o.name,
 		Bytes:  o.bytes,
-		Counts: append([]int64(nil), o.counts...),
+		Counts: k.arena.Copy(o.counts),
 	}
 	for i, c := range o.counts {
 		fc.Matches += c

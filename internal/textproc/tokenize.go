@@ -42,7 +42,7 @@ func Tokenize(text []byte) []Token {
 	for i < n {
 		c := s[i]
 		switch {
-		case c == ' ' || c == '\n' || c == '\t' || c == '\r':
+		case isSpaceByte(c):
 			i++
 		case isWordByte(c):
 			start := i
@@ -80,7 +80,7 @@ func countTokens(s string) int {
 	for i < n {
 		c := s[i]
 		switch {
-		case c == ' ' || c == '\n' || c == '\t' || c == '\r':
+		case isSpaceByte(c):
 			i++
 		case isWordByte(c):
 			for i < n && isWordByte(s[i]) {
@@ -96,10 +96,6 @@ func countTokens(s string) int {
 		}
 	}
 	return count
-}
-
-func isWordByte(c byte) bool {
-	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '\''
 }
 
 // SplitSentences groups tokens into sentences at sentence-final punctuation.

@@ -141,27 +141,9 @@ func ImportPack(sources ...string) (*FS, io.Closer, error) {
 // discovery and between member registrations; on abort any packs opened
 // so far are closed before the typed cancellation error is returned.
 func ImportPackCtx(ctx context.Context, sources ...string) (*FS, io.Closer, error) {
-	var paths []string
-	for _, src := range sources {
-		if cerr := errs.FromContext(ctx); cerr != nil {
-			return nil, nil, cerr
-		}
-		info, err := os.Stat(src)
-		if err != nil {
-			return nil, nil, fmt.Errorf("vfs: import pack: %w", err)
-		}
-		if !info.IsDir() {
-			paths = append(paths, src)
-			continue
-		}
-		found, err := packstore.Discover(src)
-		if err != nil {
-			return nil, nil, err
-		}
-		if len(found) == 0 {
-			return nil, nil, fmt.Errorf("vfs: import pack: no *.pack files under %s", src)
-		}
-		paths = append(paths, found...)
+	paths, err := resolvePackPaths(ctx, sources...)
+	if err != nil {
+		return nil, nil, err
 	}
 	set, err := packstore.OpenSet(paths...)
 	if err != nil {
@@ -188,4 +170,33 @@ func ImportPackCtx(ctx context.Context, sources ...string) (*FS, io.Closer, erro
 		}
 	}
 	return fs, set, nil
+}
+
+// resolvePackPaths expands pack sources — explicit files or directories
+// discovered for "*.pack" — into the flat path list both import variants
+// open, checking cancellation between sources.
+func resolvePackPaths(ctx context.Context, sources ...string) ([]string, error) {
+	var paths []string
+	for _, src := range sources {
+		if cerr := errs.FromContext(ctx); cerr != nil {
+			return nil, cerr
+		}
+		info, err := os.Stat(src)
+		if err != nil {
+			return nil, fmt.Errorf("vfs: import pack: %w", err)
+		}
+		if !info.IsDir() {
+			paths = append(paths, src)
+			continue
+		}
+		found, err := packstore.Discover(src)
+		if err != nil {
+			return nil, err
+		}
+		if len(found) == 0 {
+			return nil, fmt.Errorf("vfs: import pack: no *.pack files under %s", src)
+		}
+		paths = append(paths, found...)
+	}
+	return paths, nil
 }

@@ -3,15 +3,22 @@ package vfs
 import "repro/internal/scan"
 
 // Source adapts the file to a scan engine input, carrying pack locality
-// so SequentialOrder can keep pack reads sequential on disk.
+// so SequentialOrder can keep pack reads sequential on disk. Raw-backed
+// files (mapped pack imports) additionally carry the zero-copy view, so
+// the engine feeds kernels borrowed windows instead of streaming through
+// a pooled buffer.
 func (f File) Source() scan.Source {
-	return scan.Source{
+	src := scan.Source{
 		Name:    f.Name,
 		Size:    f.Size,
 		Shard:   f.shard,
 		Offset:  f.shardOff,
 		Content: &f,
 	}
+	if f.hasRaw {
+		src.Raw = &f
+	}
+	return src
 }
 
 // Sources adapts a file list to scan engine inputs, preserving order. The
@@ -28,6 +35,9 @@ func Sources(files []File) []scan.Source {
 			Shard:   f.shard,
 			Offset:  f.shardOff,
 			Content: f,
+		}
+		if f.hasRaw {
+			out[i].Raw = f
 		}
 	}
 	return out

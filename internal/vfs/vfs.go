@@ -39,6 +39,15 @@ type File struct {
 
 	shard    string // container (pack shard) path, "" for standalone files
 	shardOff int64  // byte offset of the content within the container
+
+	// raw, when hasRaw, is the file's complete content as a borrowed view —
+	// typically a window into a memory-mapped pack shard. Scans use it for
+	// the zero-copy path; the view is only valid while its owner (the pack
+	// reader) stays open. Deliberately separate from BytesFile content: a
+	// file having in-memory bytes is not the same as a file whose owner
+	// guarantees them stable for a whole scan.
+	raw    []byte
+	hasRaw bool
 }
 
 // NewFile creates a metadata-only file (no content source).
@@ -93,6 +102,31 @@ func (f File) WithLocality(shard string, offset int64) File {
 // Locality returns the file's shard container path and byte offset
 // within it; shard is "" for files that are not pack-backed.
 func (f File) Locality() (shard string, offset int64) { return f.shard, f.shardOff }
+
+// WithRawBytes returns a copy of the file annotated with a borrowed
+// zero-copy view of its complete content. data must hold exactly Size
+// bytes and must stay valid and immutable for as long as the file is
+// scanned — ImportPackMapped sets this to a window of the shard mapping,
+// valid until the import's closer runs. Scans given a raw view skip the
+// streaming Open path entirely.
+func (f File) WithRawBytes(data []byte) File {
+	f.raw = data
+	f.hasRaw = true
+	return f
+}
+
+// HasRaw reports whether the file carries a zero-copy content view.
+func (f File) HasRaw() bool { return f.hasRaw }
+
+// Bytes returns the file's zero-copy content view. It implements
+// scan.BytesSource for raw-backed files; calling it on a file without a
+// raw view is an error (scans route those through Open instead).
+func (f *File) Bytes() ([]byte, error) {
+	if !f.hasRaw {
+		return nil, fmt.Errorf("vfs: file %q has no raw content view", f.Name)
+	}
+	return f.raw, nil
+}
 
 // HasContent reports whether the file carries a content source.
 func (f File) HasContent() bool { return f.content != nil }

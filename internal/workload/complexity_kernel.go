@@ -18,6 +18,13 @@ type FileComplexity struct {
 // ComplexityOf(content, tagger) bit-for-bit — TagText's Unknown/Words
 // ratio is exactly lexicon membership counted over non-punctuation
 // tokens, so no tagging is needed.
+//
+// Block-retention contract: the kernel never keeps a reference into the
+// delivered block — the analyzer classifies bytes through the shared
+// textproc class tables as they stream past and carries only its bounded
+// in-flight token, and KnownWord folds through a stack buffer. That is
+// what makes this kernel safe on the zero-copy scan path, where blocks
+// borrow a memory mapping instead of a private buffer.
 type ComplexityKernel struct {
 	tagger  *textproc.Tagger
 	an      *textproc.StreamAnalyzer

@@ -76,6 +76,10 @@ var Measure = core.Measure
 // MeasureCtx is Measure with cancellation.
 var MeasureCtx = core.MeasureCtx
 
+// MeasureSourcesCtx runs the fused measurement over an explicit ordered
+// source list (see vfs.Sources / scan.SequentialOrder).
+var MeasureSourcesCtx = core.MeasureSourcesCtx
+
 // Corpus construction.
 type (
 	// FS is the virtual file system corpora live in.
@@ -91,6 +95,16 @@ func NewFS() *FS { return vfs.NewFS() }
 
 // ImportDir loads a real directory tree into a virtual file system.
 var ImportDir = vfs.ImportDir
+
+// ImportPack opens pack shards into a virtual file system whose files
+// stream through shared per-shard handles.
+var ImportPack = vfs.ImportPack
+
+// ImportPackMapped opens pack shards memory-mapped: every imported file
+// carries a zero-copy view of its bytes, so fused scans read borrowed
+// windows of the mapping instead of copying through block buffers. The
+// returned closer unmaps the shards and invalidates all views.
+var ImportPackMapped = vfs.ImportPackMapped
 
 // HTML18Mil returns the HTML news-corpus spec at the given scale
 // (1.0 = the paper's 18 million files).

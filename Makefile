@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-nommap test-scandebug verify verify-quick bench bench-smoke bench-pack clean
+.PHONY: all build test test-nommap test-scandebug verify verify-quick bench bench-smoke bench-pack serve-smoke clean
 
 all: build
 
@@ -54,6 +54,12 @@ bench-smoke:
 # access) without rewriting BENCH.json.
 bench-pack:
 	$(GO) test -run '^$$' -bench Pack ./internal/packstore
+
+# serve-smoke boots the resident corpus service against freshly packed
+# shards on an ephemeral port, exercises grep/measure/manifest/metrics
+# over HTTP, and asserts a graceful SIGTERM drain with exit code 130.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

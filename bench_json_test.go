@@ -17,9 +17,16 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+type benchServe struct {
+	Clients      int     `json:"clients"`
+	GrepP99MS    float64 `json:"serve_grep_p99_ms"`
+	MeasureP99MS float64 `json:"serve_measure_p99_ms"`
+}
+
 type benchDoc struct {
 	Results []benchResult      `json:"results"`
 	Ratios  map[string]float64 `json:"ratios"`
+	Serve   benchServe         `json:"serve"`
 }
 
 func loadBenchDoc(t *testing.T) *benchDoc {
@@ -83,9 +90,37 @@ func TestBenchJSONRatiosPresent(t *testing.T) {
 		"fused_scan_speedup_vs_multipass",
 		"fused_scan_vs_raw_read",
 		"multisearch_speedup_vs_8_searchers",
+		"serve_vs_oneshot",
 	} {
 		if _, ok := doc.Ratios[key]; !ok {
 			t.Errorf("BENCH.json ratios missing %q", key)
 		}
+	}
+}
+
+// TestBenchJSONServeAcceptance pins the resident-server section: the
+// serve benchmark really ran concurrent clients, exported latency
+// percentiles, and the HTTP+JSON envelope stays a small constant factor
+// over calling the library directly (generous bound — the point is to
+// catch an accidental order-of-magnitude regression in the request path,
+// not to pin a machine-dependent number).
+func TestBenchJSONServeAcceptance(t *testing.T) {
+	doc := loadBenchDoc(t)
+
+	if doc.Serve.Clients < 32 {
+		t.Errorf("serve section ran %d clients, want >= 32", doc.Serve.Clients)
+	}
+	if doc.Serve.GrepP99MS <= 0 {
+		t.Errorf("serve_grep_p99_ms = %v, want > 0", doc.Serve.GrepP99MS)
+	}
+	if doc.Serve.MeasureP99MS <= 0 {
+		t.Errorf("serve_measure_p99_ms = %v, want > 0", doc.Serve.MeasureP99MS)
+	}
+	ratio, ok := doc.Ratios["serve_vs_oneshot"]
+	if !ok {
+		t.Fatal("BENCH.json ratios missing serve_vs_oneshot")
+	}
+	if ratio <= 0 || ratio > 10 {
+		t.Fatalf("serve_vs_oneshot = %.2f, want (0, 10]", ratio)
 	}
 }

@@ -2,8 +2,9 @@
 // bin packers against their linear references, the zero-allocation
 // tokenizer, the parallel corpus/checksum/grep fan-outs, the fused scan
 // engine against sequential separate passes, the multi-pattern searcher
-// against per-pattern BMH, and the packstore write/read/verify/
-// random-access paths — via testing.Benchmark and writes the results to
+// against per-pattern BMH, the packstore write/read/verify/
+// random-access paths, and the resident corpus server under concurrent
+// HTTP load — via testing.Benchmark and writes the results to
 // BENCH.json (plus a timestamped BENCH_<yyyymmdd>.json snapshot).
 // Regenerate with
 //
@@ -14,13 +15,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -31,6 +36,7 @@ import (
 	"repro/internal/packstore"
 	"repro/internal/par"
 	"repro/internal/scan"
+	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
@@ -56,11 +62,28 @@ type CancelLatency struct {
 	MaxNs  float64 `json:"max_ns"`
 }
 
+// ServeStats records the resident-server section: latency percentiles
+// from the server's own histograms under concurrent load, plus the
+// sequential round-trip means the serve_vs_oneshot ratio is derived from.
+type ServeStats struct {
+	Clients           int     `json:"clients"`
+	RequestsPerClient int     `json:"requests_per_client"`
+	GrepP50MS         float64 `json:"serve_grep_p50_ms"`
+	GrepP95MS         float64 `json:"serve_grep_p95_ms"`
+	GrepP99MS         float64 `json:"serve_grep_p99_ms"`
+	MeasureP50MS      float64 `json:"serve_measure_p50_ms"`
+	MeasureP95MS      float64 `json:"serve_measure_p95_ms"`
+	MeasureP99MS      float64 `json:"serve_measure_p99_ms"`
+	ServeGrepMeanMS   float64 `json:"serve_grep_mean_ms"`
+	OneshotGrepMeanMS float64 `json:"oneshot_grep_mean_ms"`
+}
+
 // Output is the BENCH.json schema.
 type Output struct {
 	Results       []Result           `json:"results"`
 	Ratios        map[string]float64 `json:"ratios"`
 	CancelLatency CancelLatency      `json:"cancel_latency"`
+	Serve         ServeStats         `json:"serve"`
 }
 
 func benchItems(n int) []binpack.Item {
@@ -422,6 +445,108 @@ func main() {
 	add(run("PackRandomAccess1of64", packAccessBench(packDir, 64)))
 	add(run("PackRandomAccess1of2048", packAccessBench(packDir, 2048)))
 
+	// Resident server: the same mapped pack shards behind the HTTP daemon.
+	// 32 concurrent clients alternate grep and measure requests; the
+	// percentiles come from the server's own latency histograms (the same
+	// numbers /metrics exports). A sequential pass then prices the HTTP+
+	// JSON envelope against the direct library call over the same sources:
+	// serve_vs_oneshot is the per-request overhead factor of going through
+	// the daemon instead of linking the library.
+	srvInst, err := server.New(ctx, fusedSrcs, server.Config{MaxInFlight: 4, QueueDepth: 256})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srvInst.Handler()}
+	go httpSrv.Serve(ln)
+	baseURL := "http://" + ln.Addr().String()
+	grepBody, err := json.Marshal(server.GrepRequest{Patterns: scanPatterns})
+	if err != nil {
+		fatal(err)
+	}
+	measureBody, err := json.Marshal(server.MeasureRequest{Complexity: true})
+	if err != nil {
+		fatal(err)
+	}
+	post := func(path string, body []byte) error {
+		resp, err := http.Post(baseURL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+	const serveClients, servePerClient = 32, 8
+	var serveWG sync.WaitGroup
+	serveErrs := make(chan error, serveClients)
+	for c := 0; c < serveClients; c++ {
+		serveWG.Add(1)
+		go func(c int) {
+			defer serveWG.Done()
+			for i := 0; i < servePerClient; i++ {
+				var err error
+				if (c+i)%2 == 0 {
+					err = post("/v1/grep", grepBody)
+				} else {
+					err = post("/v1/measure", measureBody)
+				}
+				if err != nil {
+					serveErrs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	serveWG.Wait()
+	close(serveErrs)
+	for err := range serveErrs {
+		fatal(err)
+	}
+	snap := srvInst.Metrics().Snapshot()
+	const seqRounds = 32
+	t0 := time.Now()
+	for i := 0; i < seqRounds; i++ {
+		if err := post("/v1/grep", grepBody); err != nil {
+			fatal(err)
+		}
+	}
+	serveGrepMeanMS := float64(time.Since(t0).Nanoseconds()) / 1e6 / seqRounds
+	// The oneshot baseline is the exact library work the grep endpoint
+	// does — one MatchKernel scan over the same mapped sources — so the
+	// ratio isolates the HTTP+JSON+admission envelope.
+	t0 = time.Now()
+	for i := 0; i < seqRounds; i++ {
+		if err := scan.Run(ctx, fusedSrcs, scan.Options{}, textproc.NewMatchKernel(ms)); err != nil {
+			fatal(err)
+		}
+	}
+	oneshotGrepMeanMS := float64(time.Since(t0).Nanoseconds()) / 1e6 / seqRounds
+	httpSrv.Close()
+	o.Serve = ServeStats{
+		Clients:           serveClients,
+		RequestsPerClient: servePerClient,
+		GrepP50MS:         snap.Endpoints["grep"].P50MS,
+		GrepP95MS:         snap.Endpoints["grep"].P95MS,
+		GrepP99MS:         snap.Endpoints["grep"].P99MS,
+		MeasureP50MS:      snap.Endpoints["measure"].P50MS,
+		MeasureP95MS:      snap.Endpoints["measure"].P95MS,
+		MeasureP99MS:      snap.Endpoints["measure"].P99MS,
+		ServeGrepMeanMS:   serveGrepMeanMS,
+		OneshotGrepMeanMS: oneshotGrepMeanMS,
+	}
+	fmt.Printf("%-32s %9.3f ms p50 %9.3f ms p99 grep, %9.3f ms p50 %9.3f ms p99 measure (%d clients x %d)\n",
+		"ServeConcurrent", o.Serve.GrepP50MS, o.Serve.GrepP99MS,
+		o.Serve.MeasureP50MS, o.Serve.MeasureP99MS, serveClients, servePerClient)
+
 	// Cancellation responsiveness: how long a mid-flight 10k-task fan-out
 	// takes to return once cancelled. Not a ratio — an absolute latency the
 	// interactive commands (Ctrl-C) are held to.
@@ -454,6 +579,11 @@ func main() {
 		// One Aho–Corasick pass for 8 patterns vs 8 BMH passes.
 		"multisearch_speedup_vs_8_searchers": byName["SearcherPerPattern8x100kB"].NsPerOp / byName["MultiSearch8Patterns100kB"].NsPerOp,
 	}
+	// The resident-service acceptance: one sequential grep round-trip
+	// through the daemon (HTTP + JSON + admission) vs the direct library
+	// call over the same mapped sources. Near 1.0 means the envelope is
+	// noise next to the scan itself.
+	o.Ratios["serve_vs_oneshot"] = o.Serve.ServeGrepMeanMS / o.Serve.OneshotGrepMeanMS
 
 	data, err := json.MarshalIndent(o, "", "  ")
 	if err != nil {
@@ -463,10 +593,11 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear, pack access 2048/64 %.2fx, fused scan %.2fx vs multipass, %.2fx of raw read, multisearch %.2fx vs 8 searchers)\n",
+	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear, pack access 2048/64 %.2fx, fused scan %.2fx vs multipass, %.2fx of raw read, multisearch %.2fx vs 8 searchers, serve %.2fx of oneshot)\n",
 		*out, o.Ratios["firstfit_speedup_vs_linear"], o.Ratios["subsetsum_speedup_vs_linear"],
 		o.Ratios["pack_random_access_2048_over_64"], o.Ratios["fused_scan_speedup_vs_multipass"],
-		o.Ratios["fused_scan_vs_raw_read"], o.Ratios["multisearch_speedup_vs_8_searchers"])
+		o.Ratios["fused_scan_vs_raw_read"], o.Ratios["multisearch_speedup_vs_8_searchers"],
+		o.Ratios["serve_vs_oneshot"])
 	if *snapshot {
 		snapPath := filepath.Join(filepath.Dir(*out),
 			fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102")))

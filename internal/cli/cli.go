@@ -15,11 +15,20 @@ import (
 	"repro/internal/errs"
 )
 
+// ExitCodeCancelled is the exit code for signal-initiated termination —
+// the shell convention for SIGINT (128+2). Fatal uses it for cancellation
+// errors, and long-running commands (serve) exit with it directly after a
+// signal-triggered graceful drain, so all commands share one signal
+// contract.
+const ExitCodeCancelled = 130
+
 // SignalContext returns a root context that is cancelled on SIGINT or
 // SIGTERM, plus the stop function releasing the signal registration.
 // Commands call this first thing in main and thread the context through
 // every Ctx-accepting layer; a second signal during shutdown falls back
-// to the default handler (immediate termination).
+// to the default handler (immediate termination). This is the ONLY signal
+// wiring in the repository — commands must not install handlers of their
+// own, so all seven share one signal path.
 func SignalContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
@@ -40,7 +49,7 @@ func Fatal(prog string, err error) {
 		} else {
 			fmt.Fprintf(os.Stderr, "%s: %s\n", prog, kind)
 		}
-		os.Exit(130)
+		os.Exit(ExitCodeCancelled)
 	}
 	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
 	os.Exit(1)

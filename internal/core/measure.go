@@ -82,8 +82,24 @@ func MeasureCtx(ctx context.Context, corpusFS *vfs.FS, opts MeasureOptions) (*Me
 // directly rather than materialising a throwaway FS.
 func MeasureSourcesCtx(ctx context.Context, srcs []scan.Source, opts MeasureOptions) (*Measurement, error) {
 	ck := scan.NewChecksum()
-	st := textproc.NewStatsKernel()
-	kernels := []scan.Kernel{ck, st}
+	kernels := []scan.Kernel{ck}
+
+	// With complexity requested, one fused kernel computes stats and
+	// complexity from a single shared StreamAnalyzer pass; running the
+	// separate kernels side by side would tokenise every block twice.
+	var st *textproc.StatsKernel
+	var sc *workload.StatsComplexityKernel
+	if opts.Complexity {
+		tagger := opts.Tagger
+		if tagger == nil {
+			tagger = textproc.NewTagger()
+		}
+		sc = workload.NewStatsComplexityKernel(tagger)
+		kernels = append(kernels, sc)
+	} else {
+		st = textproc.NewStatsKernel()
+		kernels = append(kernels, st)
+	}
 
 	var mk *textproc.MatchKernel
 	if len(opts.Patterns) > 0 {
@@ -95,20 +111,10 @@ func MeasureSourcesCtx(ctx context.Context, srcs []scan.Source, opts MeasureOpti
 			ms, err = textproc.NewMultiSearcher(opts.Patterns)
 		}
 		if err != nil {
-			return nil, errs.Stage("measure", err)
+			return nil, errs.Stage("measure", errs.Invalid("%v", err))
 		}
 		mk = textproc.NewMatchKernel(ms)
 		kernels = append(kernels, mk)
-	}
-
-	var cx *workload.ComplexityKernel
-	if opts.Complexity {
-		tagger := opts.Tagger
-		if tagger == nil {
-			tagger = textproc.NewTagger()
-		}
-		cx = workload.NewComplexityKernel(tagger)
-		kernels = append(kernels, cx)
 	}
 
 	if err := scan.Run(ctx, srcs, scan.Options{Workers: opts.Workers}, kernels...); err != nil {
@@ -116,11 +122,18 @@ func MeasureSourcesCtx(ctx context.Context, srcs []scan.Source, opts MeasureOpti
 	}
 
 	m := &Measurement{
-		Files:     len(srcs),
-		Manifest:  make(vfs.Manifest, len(srcs)),
-		Stats:     st.Total(),
-		Lines:     st.Lines(),
-		FileStats: st.Files(),
+		Files:    len(srcs),
+		Manifest: make(vfs.Manifest, len(srcs)),
+	}
+	if sc != nil {
+		m.Stats = sc.Total()
+		m.Lines = sc.Lines()
+		m.FileStats = sc.StatsFiles()
+		m.Complexity = sc.Map()
+	} else {
+		m.Stats = st.Total()
+		m.Lines = st.Lines()
+		m.FileStats = st.Files()
 	}
 	for _, s := range ck.Sums() {
 		m.Bytes += s.Size
@@ -131,9 +144,6 @@ func MeasureSourcesCtx(ctx context.Context, srcs []scan.Source, opts MeasureOpti
 		m.PatternTotals = mk.Totals()
 		m.PatternFiles = mk.Files()
 		m.Matches = mk.TotalMatches()
-	}
-	if cx != nil {
-		m.Complexity = cx.Map()
 	}
 	return m, nil
 }

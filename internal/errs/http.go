@@ -1,0 +1,47 @@
+package errs
+
+import "errors"
+
+// HTTP status codes the taxonomy maps onto. Plain integers rather than
+// net/http constants so errs keeps its no-dependency contract; the values
+// are pinned by the RFC (and, for 499, by nginx convention).
+const (
+	// StatusClientClosedRequest is nginx's non-standard 499: the client
+	// went away (or cancelled) before the response was written. It is the
+	// HTTP spelling of ErrCancelled.
+	StatusClientClosedRequest = 499
+)
+
+// HTTPStatus maps an error onto the HTTP status a server should answer
+// with, using the taxonomy's sentinels. Raw context errors are run through
+// Categorize first, so context.DeadlineExceeded lands on 504 and
+// context.Canceled on 499 without the caller wrapping them. The mapping is
+// the single shared table — CLI exit codes and server status codes both
+// derive from the same sentinels:
+//
+//	nil          → 200
+//	ErrInvalid   → 400 (bad request: caller-supplied parameter)
+//	ErrNotFound  → 404
+//	ErrCancelled → 499 (client closed request)
+//	ErrDeadline  → 504 (gateway timeout: the work ran out of wall clock)
+//	ErrCorrupt   → 500
+//	anything else → 500
+func HTTPStatus(err error) int {
+	err = Categorize(err)
+	switch {
+	case err == nil:
+		return 200
+	case errors.Is(err, ErrInvalid):
+		return 400
+	case errors.Is(err, ErrNotFound):
+		return 404
+	case errors.Is(err, ErrDeadline):
+		return 504
+	case errors.Is(err, ErrCancelled):
+		return StatusClientClosedRequest
+	case errors.Is(err, ErrCorrupt):
+		return 500
+	default:
+		return 500
+	}
+}

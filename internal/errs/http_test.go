@@ -1,0 +1,62 @@
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestHTTPStatus pins the sentinel→status table, including errors that
+// arrive wrapped (StageError, fmt.Errorf chains) or as raw context errors
+// that HTTPStatus must categorise itself.
+func TestHTTPStatus(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 200},
+		{"invalid", ErrInvalid, 400},
+		{"invalid-built", Invalid("workers %d out of range", -1), 400},
+		{"invalid-staged", Stage("grep", Invalid("no patterns")), 400},
+		{"not-found", ErrNotFound, 404},
+		{"not-found-built", NotFound("member %q", "m-000042"), 404},
+		{"deadline", ErrDeadline, 504},
+		{"deadline-staged", StageFile("measure", "f01", fmt.Errorf("scan: %w", ErrDeadline)), 504},
+		{"deadline-raw-context", context.DeadlineExceeded, 504},
+		{"cancelled", ErrCancelled, 499},
+		{"cancelled-staged", Stage("verify", fmt.Errorf("aborted: %w", ErrCancelled)), 499},
+		{"cancelled-raw-context", context.Canceled, 499},
+		{"corrupt", ErrCorrupt, 500},
+		{"corrupt-built", Corrupt("checksum mismatch on %q", "f02"), 500},
+		{"unknown", errors.New("disk on fire"), 500},
+		{"unknown-staged", Stage("export", errors.New("disk on fire")), 500},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := HTTPStatus(tc.err); got != tc.want {
+				t.Errorf("HTTPStatus(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHTTPStatusCategorizedContext checks the categorised context errors a
+// live request produces (ctx.Err() run through FromContext) land on the
+// same statuses as the bare sentinels.
+func TestHTTPStatusCategorizedContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := HTTPStatus(FromContext(ctx)); got != 499 {
+		t.Errorf("cancelled context = %d, want 499", got)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer dcancel()
+	<-dctx.Done()
+	if got := HTTPStatus(FromContext(dctx)); got != 504 {
+		t.Errorf("expired context = %d, want 504", got)
+	}
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a lock-free log-linear latency histogram: each power-of-
+// two range of nanoseconds is split into 2^histSubBits linear sub-buckets,
+// giving ~12.5% relative resolution across the full int64 range with a
+// fixed, small footprint. Writers only ever atomically increment one
+// bucket, so recording costs two atomic adds on the request path; readers
+// (the /metrics endpoint) take a racy-but-monotone snapshot, which is the
+// standard histogram contract — quantiles over a snapshot taken during
+// traffic are approximations by nature.
+type latencyHist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // ns
+	max     atomic.Int64 // ns
+}
+
+const (
+	histSubBits = 3 // 8 sub-buckets per octave ≈ 12.5% resolution
+	histSub     = 1 << histSubBits
+	// histBuckets covers exponents 0..63 with histSub sub-buckets each;
+	// values below histSub nanoseconds index directly.
+	histBuckets = (64 - histSubBits) * histSub
+)
+
+// bucketOf maps a non-negative ns value to its bucket index.
+func bucketOf(ns int64) int {
+	v := uint64(ns)
+	if v < histSub {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // position of the most significant bit
+	mant := (v >> uint(e-histSubBits)) & (histSub - 1)
+	i := (e-histSubBits)*histSub + int(mant) + histSub
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketValue returns a representative latency for bucket i: the midpoint
+// of the bucket's [lo, hi) range.
+func bucketValue(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	j := i - histSub
+	e := j/histSub + histSubBits
+	mant := int64(j % histSub)
+	lo := int64(1)<<uint(e) + mant<<uint(e-histSubBits)
+	width := int64(1) << uint(e-histSubBits)
+	return lo + width/2
+}
+
+// observe records one latency.
+func (h *latencyHist) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// quantiles returns the latencies (ns) at each requested quantile in
+// [0, 1], from one bucket snapshot so the quantiles are mutually
+// consistent. qs must be sorted ascending.
+func (h *latencyHist) quantiles(qs ...float64) []int64 {
+	var snap [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		snap[i] = h.buckets[i].Load()
+		total += snap[i]
+	}
+	out := make([]int64, len(qs))
+	if total == 0 {
+		return out
+	}
+	qi := 0
+	var seen int64
+	for i := 0; i < histBuckets && qi < len(qs); i++ {
+		seen += snap[i]
+		for qi < len(qs) && float64(seen) >= qs[qi]*float64(total) {
+			out[qi] = bucketValue(i)
+			qi++
+		}
+	}
+	for ; qi < len(qs); qi++ {
+		out[qi] = bucketValue(histBuckets - 1)
+	}
+	return out
+}
+
+// endpointMetrics accumulates one endpoint's request-scoped counters and
+// latency distribution.
+type endpointMetrics struct {
+	requests atomic.Int64 // completed requests, any outcome
+	errors   atomic.Int64 // non-cancellation failures
+	cancels  atomic.Int64 // client-gone / deadline terminations
+	hist     latencyHist
+}
+
+// Metrics is the server's observability surface: per-endpoint latency
+// histograms plus the admission-level gauges and counters. All fields are
+// updated with atomics on the request path; Snapshot assembles the JSON
+// view /metrics serves.
+type Metrics struct {
+	start time.Time
+
+	// endpoints is fixed at construction (keys never change after New),
+	// so lookups on the hot path are lock-free map reads.
+	endpoints map[string]*endpointMetrics
+
+	inFlight      atomic.Int64
+	inFlightBytes atomic.Int64
+	rejected      atomic.Int64 // 429: queue overflow
+	drained       atomic.Int64 // 503: draining refusals
+
+	queued func() int64 // admission queue depth gauge
+}
+
+func newMetrics(endpoints []string, queued func() int64) *Metrics {
+	m := &Metrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointMetrics, len(endpoints)),
+		queued:    queued,
+	}
+	for _, ep := range endpoints {
+		m.endpoints[ep] = &endpointMetrics{}
+	}
+	return m
+}
+
+// EndpointSnapshot is one endpoint's exported metrics.
+type EndpointSnapshot struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	Cancels  int64   `json:"cancels"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MeanMS   float64 `json:"mean_ms"`
+	MaxMS    float64 `json:"max_ms"`
+}
+
+// Snapshot is the full /metrics document.
+type Snapshot struct {
+	UptimeMS      float64                     `json:"uptime_ms"`
+	QueueDepth    int64                       `json:"queue_depth"`
+	InFlight      int64                       `json:"in_flight"`
+	InFlightBytes int64                       `json:"in_flight_bytes"`
+	Rejected429   int64                       `json:"rejected_429"`
+	Rejected503   int64                       `json:"rejected_503"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+const msPerNs = 1e-6
+
+// Snapshot assembles the current metrics view.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		UptimeMS:      float64(time.Since(m.start).Nanoseconds()) * msPerNs,
+		QueueDepth:    m.queued(),
+		InFlight:      m.inFlight.Load(),
+		InFlightBytes: m.inFlightBytes.Load(),
+		Rejected429:   m.rejected.Load(),
+		Rejected503:   m.drained.Load(),
+		Endpoints:     make(map[string]EndpointSnapshot, len(m.endpoints)),
+	}
+	for name, ep := range m.endpoints {
+		qs := ep.hist.quantiles(0.50, 0.95, 0.99)
+		es := EndpointSnapshot{
+			Requests: ep.requests.Load(),
+			Errors:   ep.errors.Load(),
+			Cancels:  ep.cancels.Load(),
+			P50MS:    float64(qs[0]) * msPerNs,
+			P95MS:    float64(qs[1]) * msPerNs,
+			P99MS:    float64(qs[2]) * msPerNs,
+			MaxMS:    float64(ep.hist.max.Load()) * msPerNs,
+		}
+		if n := ep.hist.count.Load(); n > 0 {
+			es.MeanMS = float64(ep.hist.sum.Load()) / float64(n) * msPerNs
+		}
+		s.Endpoints[name] = es
+	}
+	return s
+}

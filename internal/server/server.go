@@ -1,0 +1,593 @@
+// Package server is the resident corpus service: a long-running HTTP
+// daemon over the library's scan surface. The paper's reshaping exists so
+// scanning runs at hardware speed; the one-shot CLI commands re-pay
+// process startup, pack opening and page-cache warm-up on every
+// measurement. This server opens the pack shards once (memory-mapped, via
+// vfs.ImportPackMapped upstream of New), keeps the mappings hot, and
+// multiplexes concurrent requests onto the same fused scan engine the CLI
+// uses — so results are bit-identical to the one-shot path by the scan
+// determinism contract, and the shared ReaderAt/mapped views become a real
+// concurrent cache.
+//
+// Endpoints (JSON in/out):
+//
+//	POST /v1/grep     multi-pattern Aho–Corasick match counts
+//	POST /v1/measure  fused checksum+stats(+grep)(+complexity) measurement
+//	POST /v1/verify   recompute checksums, compare against startup manifest
+//	GET  /v1/manifest per-file sizes and checksums (startup warm scan)
+//	GET  /v1/stats    corpus-wide text statistics (startup warm scan)
+//	GET  /healthz     liveness + drain state
+//	GET  /metrics     per-endpoint latency histograms, queue depth, counters
+//
+// Every scan request passes the admission controller (bounded in-flight
+// slots plus a bounded wait queue; overflow refuses with 429 and a
+// Retry-After hint) and runs under its own context: deadline from the
+// request's timeout_ms field (or X-Timeout-Ms header), cancelled when the
+// client disconnects, and cancelled by the server's hard-stop when a drain
+// deadline expires. Failures map onto HTTP statuses through
+// errs.HTTPStatus — the same taxonomy the CLI exit paths use.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/errs"
+	"repro/internal/scan"
+	"repro/internal/textproc"
+)
+
+// Config sizes the server.
+type Config struct {
+	// MaxInFlight bounds concurrently running scan requests (≤0 → 1).
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for a slot (<0 → 0); beyond it
+	// requests are refused with 429.
+	QueueDepth int
+	// ScanWorkers bounds each request's scan fan-out (0 = GOMAXPROCS).
+	ScanWorkers int
+	// DefaultTimeout applies when a request carries no timeout of its own
+	// (0 = no default deadline).
+	DefaultTimeout time.Duration
+
+	// gate, when set, runs inside every admitted scan request before the
+	// scan starts — a test seam for holding requests in flight
+	// deterministically. A non-nil error aborts the request with it.
+	gate func(ctx context.Context) error
+}
+
+// Server is a resident corpus service over a fixed, already-ordered
+// source list (normally scan.SequentialOrder over a mapped pack import).
+// The sources — and whatever mappings back them — must stay valid for the
+// server's lifetime.
+type Server struct {
+	cfg  Config
+	srcs []scan.Source
+
+	files  int
+	bytes  int64
+	shards int
+
+	// Startup warm-scan products: the manifest is the reference /v1/verify
+	// checks against, the stats answer /v1/stats without a scan, and the
+	// scan itself faults the mappings into the page cache. fingerprint is
+	// an FNV-64a fold over the manifest's (name, size, checksum) rows in
+	// input order — one corpus identity derived from the parallel per-file
+	// sums (scan.Combined would force a serial ordered pass).
+	manifest    []ManifestEntry
+	fingerprint uint64
+	stats       textproc.TextStats
+	lines       int64
+
+	tagger *textproc.Tagger
+
+	adm *admission
+	met *Metrics
+
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	mux *http.ServeMux
+}
+
+// ManifestEntry is one file's identity in the manifest document.
+type ManifestEntry struct {
+	Name     string `json:"name"`
+	Size     int64  `json:"size"`
+	Checksum string `json:"checksum"` // FNV-64a, %016x
+}
+
+// New builds a server over the sources, running the startup warm scan
+// (per-file checksums, combined checksum, corpus text statistics) under
+// ctx. The scan doubles as page-cache warm-up for mapped packs.
+func New(ctx context.Context, srcs []scan.Source, cfg Config) (*Server, error) {
+	s := &Server{
+		cfg:    cfg,
+		srcs:   srcs,
+		files:  len(srcs),
+		tagger: textproc.NewTagger(),
+		adm:    newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
+	}
+	s.met = newMetrics([]string{"grep", "measure", "verify"}, s.adm.depth)
+	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+
+	shards := make(map[string]struct{})
+	for _, src := range srcs {
+		s.bytes += src.Size
+		if src.Shard != "" {
+			shards[src.Shard] = struct{}{}
+		}
+	}
+	s.shards = len(shards)
+
+	ck := scan.NewChecksum()
+	st := textproc.NewStatsKernel()
+	if err := scan.Run(ctx, srcs, scan.Options{Workers: cfg.ScanWorkers}, ck, st); err != nil {
+		return nil, errs.Stage("serve-warmup", err)
+	}
+	s.manifest = make([]ManifestEntry, 0, len(srcs))
+	for _, sum := range ck.Sums() {
+		s.manifest = append(s.manifest, ManifestEntry{
+			Name:     sum.Name,
+			Size:     sum.Size,
+			Checksum: fmt.Sprintf("%016x", sum.Sum),
+		})
+	}
+	s.fingerprint = fingerprintSums(ck.Sums())
+	s.stats = st.Total()
+	s.lines = st.Lines()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/grep", s.handleGrep)
+	mux.HandleFunc("POST /v1/measure", s.handleMeasure)
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /v1/manifest", s.handleManifest)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler; the caller owns the http.Server and
+// listener around it.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the live metrics (the same data /metrics serves).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// StartDrain stops admitting scan work: queued requests unblock with 503
+// and new arrivals refuse immediately. In-flight requests keep running —
+// pair with http.Server.Shutdown to wait for them. Idempotent.
+func (s *Server) StartDrain() { s.adm.startDrain() }
+
+// Draining reports whether StartDrain has run.
+func (s *Server) Draining() bool { return s.adm.draining() }
+
+// HardStop cancels every in-flight request's context — the drain
+// deadline's last resort. The scans unwind through the typed cancellation
+// path and free their slots. Idempotent.
+func (s *Server) HardStop() { s.hardCancel() }
+
+// --- request plumbing ---------------------------------------------------
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error  string `json:"error"`
+	Stage  string `json:"stage,omitempty"`
+	Status int    `json:"status"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client is the only victim of a failed write
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := errs.HTTPStatus(err)
+	writeJSON(w, status, errorBody{Error: err.Error(), Stage: errs.StageOf(err), Status: status})
+}
+
+// timeoutOf resolves a request's deadline: the body's timeout_ms when
+// positive, else the X-Timeout-Ms header, else the server default.
+func (s *Server) timeoutOf(r *http.Request, bodyMS int64) time.Duration {
+	if bodyMS > 0 {
+		return time.Duration(bodyMS) * time.Millisecond
+	}
+	if h := r.Header.Get("X-Timeout-Ms"); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	return s.cfg.DefaultTimeout
+}
+
+// runScan is the shared scan-request wrapper: admission, per-request
+// context (client disconnect + timeout + server hard-stop), in-flight
+// gauges, latency observation and error mapping. fn runs with a slot held.
+func (s *Server) runScan(w http.ResponseWriter, r *http.Request, endpoint string, timeout time.Duration, fn func(ctx context.Context) (any, error)) {
+	ep := s.met.endpoints[endpoint]
+	if err := s.adm.acquire(r.Context()); err != nil {
+		switch err {
+		case ErrOverloaded:
+			s.met.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), Status: http.StatusTooManyRequests})
+		case ErrDraining:
+			s.met.drained.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Status: http.StatusServiceUnavailable})
+		default:
+			// The client vanished while queued; status is a formality.
+			ep.cancels.Add(1)
+			writeError(w, err)
+		}
+		return
+	}
+	defer s.adm.release()
+
+	ctx := r.Context()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	// A hard stop (drain deadline expired) cancels in-flight work too.
+	stopHard := context.AfterFunc(s.hardCtx, cancel)
+	defer stopHard()
+
+	s.met.inFlight.Add(1)
+	s.met.inFlightBytes.Add(s.bytes)
+	start := time.Now()
+	var res any
+	err := error(nil)
+	if s.cfg.gate != nil {
+		err = s.cfg.gate(ctx)
+	}
+	if err == nil {
+		res, err = fn(ctx)
+	}
+	elapsed := time.Since(start)
+	s.met.inFlightBytes.Add(-s.bytes)
+	s.met.inFlight.Add(-1)
+
+	ep.hist.observe(elapsed)
+	ep.requests.Add(1)
+	if err != nil {
+		err = errs.Categorize(err)
+		if errs.IsCancellation(err) {
+			ep.cancels.Add(1)
+		} else {
+			ep.errors.Add(1)
+		}
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// decodeBody decodes a JSON request body into v. An empty body is allowed
+// (all request fields are optional); anything undecodable is ErrInvalid.
+func decodeBody(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil && err != io.EOF {
+		return errs.Invalid("bad request body: %v", err)
+	}
+	return nil
+}
+
+// --- endpoints ----------------------------------------------------------
+
+// GrepRequest asks for multi-pattern match counts over the corpus.
+type GrepRequest struct {
+	Patterns  []string `json:"patterns"`
+	Fold      bool     `json:"fold"`
+	PerFile   bool     `json:"per_file"`
+	TimeoutMS int64    `json:"timeout_ms"`
+}
+
+// FileCounts is one file's per-pattern counts in a GrepResponse.
+type FileCounts struct {
+	Name    string  `json:"name"`
+	Counts  []int64 `json:"counts"`
+	Matches int64   `json:"matches"`
+}
+
+// GrepResponse reports match counts; Totals aligns with Patterns.
+type GrepResponse struct {
+	Files     int          `json:"files"`
+	Bytes     int64        `json:"bytes"`
+	Patterns  []string     `json:"patterns"`
+	Totals    []int64      `json:"totals"`
+	Matches   int64        `json:"matches"`
+	PerFile   []FileCounts `json:"per_file,omitempty"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+func (s *Server) handleGrep(w http.ResponseWriter, r *http.Request) {
+	var req GrepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Patterns) == 0 {
+		writeError(w, errs.Stage("grep", errs.Invalid("no patterns")))
+		return
+	}
+	var ms *textproc.MultiSearcher
+	var err error
+	if req.Fold {
+		ms, err = textproc.NewFoldedMultiSearcher(req.Patterns)
+	} else {
+		ms, err = textproc.NewMultiSearcher(req.Patterns)
+	}
+	if err != nil {
+		writeError(w, errs.Stage("grep", errs.Invalid("%v", err)))
+		return
+	}
+	s.runScan(w, r, "grep", s.timeoutOf(r, req.TimeoutMS), func(ctx context.Context) (any, error) {
+		mk := textproc.NewMatchKernel(ms)
+		start := time.Now()
+		if err := scan.Run(ctx, s.srcs, scan.Options{Workers: s.cfg.ScanWorkers}, mk); err != nil {
+			return nil, errs.Stage("grep", err)
+		}
+		resp := &GrepResponse{
+			Files:     s.files,
+			Bytes:     s.bytes,
+			Patterns:  ms.Patterns(),
+			Totals:    mk.Totals(),
+			Matches:   mk.TotalMatches(),
+			ElapsedMS: float64(time.Since(start).Nanoseconds()) * msPerNs,
+		}
+		if req.PerFile {
+			resp.PerFile = make([]FileCounts, 0, len(mk.Files()))
+			for _, f := range mk.Files() {
+				resp.PerFile = append(resp.PerFile, FileCounts{Name: f.Name, Counts: f.Counts, Matches: f.Matches})
+			}
+		}
+		return resp, nil
+	})
+}
+
+// MeasureRequest asks for the fused measurement scan.
+type MeasureRequest struct {
+	Patterns   []string `json:"patterns"`
+	Fold       bool     `json:"fold"`
+	Complexity bool     `json:"complexity"`
+	TimeoutMS  int64    `json:"timeout_ms"`
+}
+
+// MeasureResponse reports the fused scan's outputs.
+type MeasureResponse struct {
+	Files          int      `json:"files"`
+	Bytes          int64    `json:"bytes"`
+	Tokens         int      `json:"tokens"`
+	Words          int      `json:"words"`
+	Sentences      int      `json:"sentences"`
+	Lines          int64    `json:"lines"`
+	MeanSentence   float64  `json:"mean_sentence"`
+	MaxSentence    int      `json:"max_sentence"`
+	Patterns       []string `json:"patterns,omitempty"`
+	Totals         []int64  `json:"totals,omitempty"`
+	Matches        int64    `json:"matches"`
+	ComplexityMean float64  `json:"complexity_mean,omitempty"`
+	ElapsedMS      float64  `json:"elapsed_ms"`
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	var req MeasureRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.runScan(w, r, "measure", s.timeoutOf(r, req.TimeoutMS), func(ctx context.Context) (any, error) {
+		start := time.Now()
+		m, err := core.MeasureSourcesCtx(ctx, s.srcs, core.MeasureOptions{
+			Workers:    s.cfg.ScanWorkers,
+			Patterns:   req.Patterns,
+			FoldCase:   req.Fold,
+			Complexity: req.Complexity,
+			Tagger:     s.tagger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp := &MeasureResponse{
+			Files:        m.Files,
+			Bytes:        m.Bytes,
+			Tokens:       m.Stats.Tokens,
+			Words:        m.Stats.Words,
+			Sentences:    m.Stats.Sentences,
+			Lines:        m.Lines,
+			MeanSentence: m.Stats.MeanSentence,
+			MaxSentence:  m.Stats.MaxSentence,
+			Patterns:     m.Patterns,
+			Totals:       m.PatternTotals,
+			Matches:      m.Matches,
+			ElapsedMS:    float64(time.Since(start).Nanoseconds()) * msPerNs,
+		}
+		if m.Complexity != nil {
+			resp.ComplexityMean = complexityMean(m)
+		}
+		return resp, nil
+	})
+}
+
+// complexityMean folds the per-file complexities in scan input order —
+// NOT map order, which would make the floating-point sum (and so the
+// response) vary between identical requests.
+func complexityMean(m *core.Measurement) float64 {
+	var sum float64
+	for _, fs := range m.FileStats {
+		sum += m.Complexity[fs.Name]
+	}
+	return sum / float64(len(m.Complexity))
+}
+
+// VerifyRequest asks for a full re-checksum against the startup manifest.
+type VerifyRequest struct {
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// VerifyResponse reports a verification pass.
+type VerifyResponse struct {
+	Files       int     `json:"files"`
+	Bytes       int64   `json:"bytes"`
+	Fingerprint string  `json:"fingerprint"`
+	OK          bool    `json:"ok"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// fingerprintSums folds every file's (name, size, checksum) into one
+// FNV-64a corpus identity, in input order. Computable from the parallel
+// per-file sums, unlike the order-sequential scan.Combined fold.
+func fingerprintSums(sums []scan.FileSum) uint64 {
+	h := uint64(fnvOffset64)
+	var buf [16]byte
+	for _, s := range sums {
+		h = fnvFoldString(h, s.Name)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(s.Size >> (8 * i))
+			buf[8+i] = byte(s.Sum >> (8 * i))
+		}
+		h = fnvFoldBytes(h, buf[:])
+	}
+	return h
+}
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+func fnvFoldBytes(h uint64, p []byte) uint64 {
+	for _, b := range p {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	return h
+}
+
+func fnvFoldString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.runScan(w, r, "verify", s.timeoutOf(r, req.TimeoutMS), func(ctx context.Context) (any, error) {
+		ck := scan.NewChecksum()
+		start := time.Now()
+		if err := scan.Run(ctx, s.srcs, scan.Options{Workers: s.cfg.ScanWorkers}, ck); err != nil {
+			return nil, errs.Stage("verify", err)
+		}
+		sums := ck.Sums()
+		if len(sums) != len(s.manifest) {
+			return nil, errs.Stage("verify", errs.Corrupt("scan saw %d files, manifest has %d", len(sums), len(s.manifest)))
+		}
+		for i, sum := range sums {
+			want := s.manifest[i]
+			if got := fmt.Sprintf("%016x", sum.Sum); sum.Name != want.Name || got != want.Checksum {
+				return nil, errs.StageFile("verify", sum.Name,
+					errs.Corrupt("checksum %s, manifest has %s", got, want.Checksum))
+			}
+		}
+		if fp := fingerprintSums(sums); fp != s.fingerprint {
+			return nil, errs.Stage("verify", errs.Corrupt("fingerprint %016x, startup scan had %016x", fp, s.fingerprint))
+		}
+		return &VerifyResponse{
+			Files:       s.files,
+			Bytes:       s.bytes,
+			Fingerprint: fmt.Sprintf("%016x", s.fingerprint),
+			OK:          true,
+			ElapsedMS:   float64(time.Since(start).Nanoseconds()) * msPerNs,
+		}, nil
+	})
+}
+
+// ManifestResponse is the /v1/manifest document.
+type ManifestResponse struct {
+	Files       int             `json:"files"`
+	TotalBytes  int64           `json:"total_bytes"`
+	Shards      int             `json:"shards"`
+	Fingerprint string          `json:"fingerprint"`
+	Entries     []ManifestEntry `json:"entries"`
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &ManifestResponse{
+		Files:       s.files,
+		TotalBytes:  s.bytes,
+		Shards:      s.shards,
+		Fingerprint: fmt.Sprintf("%016x", s.fingerprint),
+		Entries:     s.manifest,
+	})
+}
+
+// StatsResponse is the /v1/stats document (startup warm-scan statistics).
+type StatsResponse struct {
+	Files        int     `json:"files"`
+	Bytes        int64   `json:"bytes"`
+	Tokens       int     `json:"tokens"`
+	Words        int     `json:"words"`
+	Sentences    int     `json:"sentences"`
+	Lines        int64   `json:"lines"`
+	MeanSentence float64 `json:"mean_sentence"`
+	MaxSentence  int     `json:"max_sentence"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &StatsResponse{
+		Files:        s.files,
+		Bytes:        s.bytes,
+		Tokens:       s.stats.Tokens,
+		Words:        s.stats.Words,
+		Sentences:    s.stats.Sentences,
+		Lines:        s.lines,
+		MeanSentence: s.stats.MeanSentence,
+		MaxSentence:  s.stats.MaxSentence,
+	})
+}
+
+// HealthzResponse is the /healthz document.
+type HealthzResponse struct {
+	Status   string  `json:"status"` // "ok" or "draining"
+	UptimeMS float64 `json:"uptime_ms"`
+	Files    int     `json:"files"`
+	Bytes    int64   `json:"bytes"`
+	Shards   int     `json:"shards"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := &HealthzResponse{
+		Status:   "ok",
+		UptimeMS: float64(time.Since(s.met.start).Nanoseconds()) * msPerNs,
+		Files:    s.files,
+		Bytes:    s.bytes,
+		Shards:   s.shards,
+	}
+	status := http.StatusOK
+	if s.Draining() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.Snapshot())
+}

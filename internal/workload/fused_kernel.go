@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"repro/internal/scan"
+	"repro/internal/textproc"
+)
+
+// StatsComplexityKernel computes per-file text statistics AND per-file
+// POS-tagging complexity from one shared StreamAnalyzer pass. Running
+// textproc.StatsKernel and ComplexityKernel side by side costs two full
+// analyzer passes over every block — the byte-classification state machine
+// runs twice and tokenises the corpus twice. Both kernels consume exactly
+// the analyzer's outputs (the stats kernel its TextStats and line count,
+// the complexity kernel the same TextStats plus the word callback's
+// out-of-vocabulary count), so one analyzer can feed both. The fused
+// kernel is pinned bit-identical to the separate pair by a differential
+// test: the stats side produces what StatsKernel produces and the
+// complexity side what ComplexityKernel produces, file by file.
+//
+// Block-retention contract: identical to the constituent kernels — the
+// analyzer carries only its bounded in-flight token and KnownWord folds
+// through a stack buffer, so the kernel is safe on the zero-copy path.
+type StatsComplexityKernel struct {
+	tagger  *textproc.Tagger
+	an      *textproc.StreamAnalyzer
+	unknown int
+
+	name    string
+	curStat textproc.FileStats
+	curCx   FileComplexity
+
+	statFiles []textproc.FileStats
+	total     textproc.TextStats
+	lines     int64
+	cxFiles   []FileComplexity
+}
+
+// NewStatsComplexityKernel returns a fused stats+complexity kernel
+// prototype over the tagger's lexicon.
+func NewStatsComplexityKernel(t *textproc.Tagger) *StatsComplexityKernel {
+	k := &StatsComplexityKernel{tagger: t}
+	k.an = textproc.NewStreamAnalyzer(func(word []byte) {
+		if !t.KnownWord(word) {
+			k.unknown++
+		}
+	})
+	return k
+}
+
+// Fork implements scan.Kernel: forks share the tagger (read-only lexicon)
+// but nothing else.
+func (k *StatsComplexityKernel) Fork() scan.Kernel { return NewStatsComplexityKernel(k.tagger) }
+
+// Begin implements scan.Kernel.
+func (k *StatsComplexityKernel) Begin(src scan.Source) {
+	k.an.Reset()
+	k.unknown = 0
+	k.name = src.Name
+}
+
+// Block implements scan.Kernel: one analyzer pass serves both outputs.
+func (k *StatsComplexityKernel) Block(p []byte) { k.an.Block(p) }
+
+// End implements scan.Kernel.
+func (k *StatsComplexityKernel) End() {
+	st, lines := k.an.Finish()
+	k.curStat = textproc.FileStats{Name: k.name, Stats: st, Lines: lines}
+	oov := 0.0
+	if st.Words > 0 {
+		oov = float64(k.unknown) / float64(st.Words)
+	}
+	k.curCx = FileComplexity{Name: k.name, Complexity: ComplexityFromStats(st, oov)}
+}
+
+// Merge implements scan.Kernel: the completed file is appended in input
+// order on both sides, and the stats fold mirrors StatsKernel.Merge
+// operation for operation so totals stay bit-identical to the unfused
+// kernel.
+func (k *StatsComplexityKernel) Merge(other scan.Kernel) {
+	o := other.(*StatsComplexityKernel)
+	k.statFiles = append(k.statFiles, o.curStat)
+	st := o.curStat.Stats
+	k.total.Tokens += st.Tokens
+	k.total.Words += st.Words
+	k.total.Sentences += st.Sentences
+	if st.MaxSentence > k.total.MaxSentence {
+		k.total.MaxSentence = st.MaxSentence
+	}
+	k.lines += o.curStat.Lines
+	k.cxFiles = append(k.cxFiles, o.curCx)
+}
+
+// StatsFiles returns per-file stats in input order; the slice is owned by
+// the kernel.
+func (k *StatsComplexityKernel) StatsFiles() []textproc.FileStats { return k.statFiles }
+
+// Total returns corpus-wide statistics, mean recomputed over all
+// sentences — exactly StatsKernel.Total.
+func (k *StatsComplexityKernel) Total() textproc.TextStats {
+	t := k.total
+	if t.Sentences > 0 {
+		t.MeanSentence = float64(t.Words) / float64(t.Sentences)
+	}
+	return t
+}
+
+// Lines returns the corpus-wide newline count.
+func (k *StatsComplexityKernel) Lines() int64 { return k.lines }
+
+// Files returns per-file complexities in input order; the slice is owned
+// by the kernel.
+func (k *StatsComplexityKernel) Files() []FileComplexity { return k.cxFiles }
+
+// Map returns the complexities keyed by file name — the shape
+// core.Pipeline's profiled runs consume.
+func (k *StatsComplexityKernel) Map() map[string]float64 {
+	m := make(map[string]float64, len(k.cxFiles))
+	for _, f := range k.cxFiles {
+		m[f.Name] = f.Complexity
+	}
+	return m
+}

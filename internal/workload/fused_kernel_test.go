@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/scan"
+	"repro/internal/textproc"
+	"repro/internal/vfs"
+)
+
+// TestStatsComplexityKernelMatchesSeparateKernels is the differential test
+// pinning the fused single-analyzer kernel bit-identical to the separate
+// StatsKernel + ComplexityKernel pair on both of its outputs, across
+// worker counts and with a block size small enough that words straddle
+// blocks. Exact float equality is deliberate: the fused kernel must
+// perform the same arithmetic in the same order.
+func TestStatsComplexityKernelMatchesSeparateKernels(t *testing.T) {
+	tagger := textproc.NewTagger()
+	texts := []string{
+		"",
+		"The quick brown fox jumps over the lazy dog.",
+		"Zzyzzx glorptal frobnak unknownia! Another flurmish sentence?",
+		"Short. " + strings.Repeat("a normal sentence with the usual words. ", 12),
+		"café déjà 北京 mixed Unicode and the occasional known word.",
+		"lines\nand\nmore\nlines\nwith the final one unterminated",
+	}
+	fs := vfs.NewFS()
+	for i, text := range texts {
+		if err := fs.Add(vfs.BytesFile(fmt.Sprintf("f-%d", i), []byte(text))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files := fs.List()
+
+	for _, workers := range []int{1, 2, 8} {
+		opts := scan.Options{Workers: workers, BlockSize: 5}
+
+		sk := textproc.NewStatsKernel()
+		cx := NewComplexityKernel(tagger)
+		if err := scan.Run(context.Background(), vfs.Sources(files), opts, sk, cx); err != nil {
+			t.Fatalf("workers=%d separate: %v", workers, err)
+		}
+
+		fused := NewStatsComplexityKernel(tagger)
+		if err := scan.Run(context.Background(), vfs.Sources(files), opts, fused); err != nil {
+			t.Fatalf("workers=%d fused: %v", workers, err)
+		}
+
+		if got, want := fused.StatsFiles(), sk.Files(); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: fused StatsFiles = %+v, want %+v", workers, got, want)
+		}
+		if got, want := fused.Total(), sk.Total(); got != want {
+			t.Errorf("workers=%d: fused Total = %+v, want %+v", workers, got, want)
+		}
+		if got, want := fused.Lines(), sk.Lines(); got != want {
+			t.Errorf("workers=%d: fused Lines = %d, want %d", workers, got, want)
+		}
+		if got, want := fused.Files(), cx.Files(); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: fused complexity Files = %+v, want %+v", workers, got, want)
+		}
+		if got, want := fused.Map(), cx.Map(); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: fused Map = %v, want %v", workers, got, want)
+		}
+	}
+}

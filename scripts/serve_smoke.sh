@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the resident corpus service: generate a small
+# corpus, reshape it into pack shards, start serve on an ephemeral port,
+# exercise grep / measure / manifest / metrics over HTTP, then SIGTERM
+# the daemon and require a graceful drain with exit code 130 (the shared
+# signal contract every command in the repo follows).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/corpusgen" ./cmd/corpusgen
+go build -o "$work/reshape" ./cmd/reshape
+go build -o "$work/serve" ./cmd/serve
+
+"$work/corpusgen" -spec text -scale 0.0002 -out "$work/corpus" >/dev/null
+"$work/reshape" -in "$work/corpus" -pack -out "$work/packs" -shard 1048576 >/dev/null
+
+"$work/serve" -packs "$work/packs" -addr 127.0.0.1:0 >"$work/serve.log" 2>&1 &
+pid=$!
+
+# The daemon prints "serve: listening on http://HOST:PORT ..." once ready.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|.*http://\([0-9.:]*\).*|\1|p' "$work/serve.log" | head -n 1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve_smoke: daemon exited before listening" >&2
+        cat "$work/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve_smoke: daemon never reported its address" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+fi
+echo "serve_smoke: daemon at $addr"
+
+curl -fsS -X POST "http://$addr/v1/grep" -d '{"patterns":["the","and"]}' | grep -q '"matches"'
+curl -fsS -X POST "http://$addr/v1/measure" -d '{"complexity":true}' | grep -q '"tokens"'
+curl -fsS "http://$addr/v1/manifest" | grep -q '"fingerprint"'
+curl -fsS "http://$addr/metrics" | grep -q '"queue_depth"'
+echo "serve_smoke: endpoints answered"
+
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ "$rc" -ne 130 ]; then
+    echo "serve_smoke: daemon exited $rc after SIGTERM, want 130" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+fi
+if ! grep -q "serve: drained" "$work/serve.log"; then
+    echo "serve_smoke: no drain line in the daemon log" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+fi
+echo "serve_smoke: OK (graceful drain, exit 130)"

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-nommap test-scandebug verify verify-quick bench bench-smoke bench-pack serve-smoke clean
+.PHONY: all build test test-nommap test-scandebug verify verify-quick bench bench-smoke bench-pack serve-smoke dist-smoke clean
 
 all: build
 
@@ -60,6 +60,13 @@ bench-pack:
 # over HTTP, and asserts a graceful SIGTERM drain with exit code 130.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# dist-smoke measures freshly packed shards three ways — single-node,
+# in-process -workers 2, and two cmd/worker daemons over HTTP — and
+# asserts a bit-identical measurement fingerprint across all three plus
+# a graceful SIGTERM drain with exit code 130.
+dist-smoke:
+	./scripts/dist_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -91,6 +91,10 @@ func TestBenchJSONRatiosPresent(t *testing.T) {
 		"fused_scan_vs_raw_read",
 		"multisearch_speedup_vs_8_searchers",
 		"serve_vs_oneshot",
+		"dist_scan_vs_local",
+		"dist_scan_vs_local_1w",
+		"dist_scan_vs_local_2w",
+		"dist_scan_vs_local_4w",
 	} {
 		if _, ok := doc.Ratios[key]; !ok {
 			t.Errorf("BENCH.json ratios missing %q", key)
@@ -122,5 +126,32 @@ func TestBenchJSONServeAcceptance(t *testing.T) {
 	}
 	if ratio <= 0 || ratio > 10 {
 		t.Fatalf("serve_vs_oneshot = %.2f, want (0, 10]", ratio)
+	}
+}
+
+// TestBenchJSONDistAcceptance pins the distributed-scan section: the
+// coordinator–worker engine over in-process workers stays a small
+// constant factor of single-node execution of the same plan (generous
+// bound — in-process workers share the machine's cores, so the ratio
+// measures engine overhead, and the point is catching an accidental
+// order-of-magnitude regression in dispatch/snapshot/merge, not pinning
+// a machine-dependent number).
+func TestBenchJSONDistAcceptance(t *testing.T) {
+	doc := loadBenchDoc(t)
+
+	doc.result(t, "DistScanLocal")
+	for _, n := range []int{1, 2, 4} {
+		doc.result(t, "DistScan"+string(rune('0'+n))+"Workers")
+		key := "dist_scan_vs_local_" + string(rune('0'+n)) + "w"
+		ratio, ok := doc.Ratios[key]
+		if !ok {
+			t.Fatalf("BENCH.json ratios missing %s", key)
+		}
+		if ratio <= 0 || ratio > 10 {
+			t.Errorf("%s = %.2f, want (0, 10]", key, ratio)
+		}
+	}
+	if doc.Ratios["dist_scan_vs_local"] != doc.Ratios["dist_scan_vs_local_2w"] {
+		t.Error("dist_scan_vs_local headline is not the 2-worker ratio")
 	}
 }

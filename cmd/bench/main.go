@@ -32,7 +32,9 @@ import (
 
 	"repro/internal/binpack"
 	"repro/internal/cli"
+	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dist"
 	"repro/internal/packstore"
 	"repro/internal/par"
 	"repro/internal/scan"
@@ -547,6 +549,53 @@ func main() {
 		"ServeConcurrent", o.Serve.GrepP50MS, o.Serve.GrepP99MS,
 		o.Serve.MeasureP50MS, o.Serve.MeasureP99MS, serveClients, servePerClient)
 
+	// Distributed shard scan: the same corpus exported as small shards
+	// (64 KiB → ~8 tasks) so the plan yields one task per shard and a
+	// 4-worker fleet has real contention, measured through
+	// the coordinator–worker engine with 1, 2 and 4 in-process workers
+	// against the single-node plan execution over identical sources. The
+	// in-process fleet isolates the engine's own overhead — task
+	// dispatch, kernel snapshot/restore, the merge frontier — from
+	// network cost; dist_scan_vs_local is that overhead as a factor.
+	distShardDir := filepath.Join(packDir, "dist")
+	if _, err := contentFS.ExportPackCtx(ctx, distShardDir, vfs.PackOptions{ShardSize: 64 << 10}); err != nil {
+		fatal(err)
+	}
+	distFS, distCloser, err := vfs.ImportPackMapped(distShardDir)
+	if err != nil {
+		fatal(err)
+	}
+	defer distCloser.Close()
+	distPlan := scan.NewPlan(vfs.Sources(distFS.List()), scan.PlanOptions{})
+	distSpec := dist.Spec{Patterns: scanPatterns}
+	fmt.Printf("%-32s %d tasks over %d files\n", "DistPlan", len(distPlan.Tasks), len(distPlan.Sources))
+	add(run("DistScanLocal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MeasurePlanCtx(ctx, distPlan, distSpec.MeasureOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	for _, n := range []int{1, 2, 4} {
+		fleet := make([]dist.Worker, n)
+		for i := range fleet {
+			l, err := dist.NewLocal(fmt.Sprintf("w%d", i), distPlan, distSpec)
+			if err != nil {
+				fatal(err)
+			}
+			fleet[i] = l
+		}
+		add(run(fmt.Sprintf("DistScan%dWorkers", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dist.Measure(ctx, distPlan, distSpec, fleet, dist.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
 	// Cancellation responsiveness: how long a mid-flight 10k-task fan-out
 	// takes to return once cancelled. Not a ratio — an absolute latency the
 	// interactive commands (Ctrl-C) are held to.
@@ -584,6 +633,17 @@ func main() {
 	// call over the same mapped sources. Near 1.0 means the envelope is
 	// noise next to the scan itself.
 	o.Ratios["serve_vs_oneshot"] = o.Serve.ServeGrepMeanMS / o.Serve.OneshotGrepMeanMS
+	// The distributed-scan acceptance: the coordinator–worker engine over
+	// in-process workers vs single-node execution of the same plan. Near
+	// 1.0 means dispatch + snapshot/restore + the merge frontier cost
+	// little next to the scan; the per-count entries show how the factor
+	// moves as the fleet grows on one machine (workers contend for the
+	// same cores, so this is overhead, not speedup).
+	for _, n := range []int{1, 2, 4} {
+		o.Ratios[fmt.Sprintf("dist_scan_vs_local_%dw", n)] =
+			byName[fmt.Sprintf("DistScan%dWorkers", n)].NsPerOp / byName["DistScanLocal"].NsPerOp
+	}
+	o.Ratios["dist_scan_vs_local"] = o.Ratios["dist_scan_vs_local_2w"]
 
 	data, err := json.MarshalIndent(o, "", "  ")
 	if err != nil {
@@ -593,11 +653,12 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear, pack access 2048/64 %.2fx, fused scan %.2fx vs multipass, %.2fx of raw read, multisearch %.2fx vs 8 searchers, serve %.2fx of oneshot)\n",
+	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear, pack access 2048/64 %.2fx, fused scan %.2fx vs multipass, %.2fx of raw read, multisearch %.2fx vs 8 searchers, serve %.2fx of oneshot, dist %.2f/%.2f/%.2fx of local at 1/2/4 workers)\n",
 		*out, o.Ratios["firstfit_speedup_vs_linear"], o.Ratios["subsetsum_speedup_vs_linear"],
 		o.Ratios["pack_random_access_2048_over_64"], o.Ratios["fused_scan_speedup_vs_multipass"],
 		o.Ratios["fused_scan_vs_raw_read"], o.Ratios["multisearch_speedup_vs_8_searchers"],
-		o.Ratios["serve_vs_oneshot"])
+		o.Ratios["serve_vs_oneshot"], o.Ratios["dist_scan_vs_local_1w"],
+		o.Ratios["dist_scan_vs_local_2w"], o.Ratios["dist_scan_vs_local_4w"])
 	if *snapshot {
 		snapPath := filepath.Join(filepath.Dir(*out),
 			fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102")))

@@ -12,13 +12,22 @@
 //	pipeline -app pos -spec text -scale 0.002 -deadline 120 -fit cv
 //	pipeline -app grep -dir ./corpus -grep error,warning,fatal -measure
 //	pipeline -app pos -spec text -scale 0.002 -measure
+//	pipeline -packs ./packed -measure -measure-only -workers 4
+//	pipeline -packs ./packed -measure -measure-only -worker-addrs 127.0.0.1:9101,127.0.0.1:9102
 //
 // -grep and -measure share one fused scan: every file is opened and
 // streamed exactly once, feeding the checksum, multi-pattern match,
 // text-stats and (for -app pos) POS-complexity kernels per block.
+//
+// -workers N distributes that scan over N in-process workers through the
+// coordinator–worker engine; -worker-addrs sends the tasks to remote
+// worker daemons (cmd/worker) over HTTP instead. Either way the output
+// is bit-identical to the single-node scan — the printed measurement
+// fingerprint is the proof line scripts compare.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +36,8 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dist"
+	"repro/internal/scan"
 	"repro/internal/vfs"
 	"repro/internal/workload"
 )
@@ -47,6 +58,10 @@ func main() {
 		grepPats = flag.String("grep", "", "comma-separated literal patterns: count matches during the fused measurement scan")
 		foldCase = flag.Bool("fold", false, "match -grep patterns ASCII case-insensitively")
 		measure  = flag.Bool("measure", false, "fused single-pass scan of the corpus bytes (checksums + text stats; with -app pos also a per-file complexity profile that the run consumes)")
+		workers  = flag.Int("workers", 0, "distribute the measurement scan over N in-process workers (0 = single-node scan)")
+		wAddrs   = flag.String("worker-addrs", "", "distribute the measurement scan to remote worker daemons: comma-separated host:port list")
+		onlyM    = flag.Bool("measure-only", false, "stop after the measurement scan (skip probing/planning/execution)")
+		taskB    = flag.Int64("task-bytes", 0, "task chunking cap for shard-less sources (0 = default; must match remote workers)")
 	)
 	flag.Parse()
 
@@ -115,20 +130,51 @@ func main() {
 	// same single read of each file (packed corpora shard-sequentially).
 	var complexity map[string]float64
 	if *grepPats != "" || *measure {
-		if !contentBacked(fs) {
+		if *wAddrs == "" && !contentBacked(fs) {
 			fmt.Fprintln(os.Stderr, "pipeline: -grep/-measure need corpus bytes; use -dir or -packs (or a content-backed spec)")
 			os.Exit(2)
 		}
-		opts := core.MeasureOptions{FoldCase: *foldCase, Complexity: *measure && *appName == "pos"}
+		spec := dist.Spec{FoldCase: *foldCase, Complexity: *measure && *appName == "pos"}
 		if *grepPats != "" {
-			opts.Patterns = strings.Split(*grepPats, ",")
+			spec.Patterns = strings.Split(*grepPats, ",")
 		}
-		m, err := core.MeasureCtx(ctx, fs, opts)
+		plan := scan.NewPlan(vfs.Sources(fs.List()), scan.PlanOptions{TaskBytes: *taskB})
+
+		var m *core.Measurement
+		var err error
+		switch {
+		case *wAddrs != "":
+			// Remote workers scan their own corpus views; the plan
+			// fingerprint preflight catches any divergence.
+			var fleet []dist.Worker
+			for _, a := range strings.Split(*wAddrs, ",") {
+				a = strings.TrimSpace(a)
+				if !strings.Contains(a, "://") {
+					a = "http://" + a
+				}
+				fleet = append(fleet, dist.NewHTTPWorker(a, a))
+			}
+			m, err = distMeasure(ctx, plan, spec, fleet)
+		case *workers > 0:
+			var fleet []dist.Worker
+			for i := 0; i < *workers; i++ {
+				l, lerr := dist.NewLocal(fmt.Sprintf("w%d", i), plan, spec)
+				if lerr != nil {
+					fatal(lerr)
+				}
+				fleet = append(fleet, l)
+			}
+			m, err = distMeasure(ctx, plan, spec, fleet)
+		default:
+			m, err = core.MeasurePlanCtx(ctx, plan, spec.MeasureOptions())
+		}
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("measured (one fused pass): %d tokens, %d words, %d sentences, %d lines, mean sentence %.1f words\n",
 			m.Stats.Tokens, m.Stats.Words, m.Stats.Sentences, m.Lines, m.Stats.MeanSentence)
+		fmt.Printf("measurement fingerprint: %016x (plan %016x, %d files, %d tasks)\n",
+			m.Fingerprint(), plan.Fingerprint(), len(plan.Sources), len(plan.Tasks))
 		for i, pat := range m.Patterns {
 			fmt.Printf("  pattern %q: %d matches\n", pat, m.PatternTotals[i])
 		}
@@ -141,6 +187,9 @@ func main() {
 			fmt.Printf("  POS complexity profile: %d files, mean %.3f\n",
 				len(complexity), mean/float64(len(complexity)))
 		}
+	}
+	if *onlyM {
+		return
 	}
 
 	// Scale the probe protocol to the corpus: escalate from ~1/100 of the
@@ -197,6 +246,20 @@ func main() {
 	}
 	fmt.Printf("executed: makespan %.1fs, %d/%d missed, actual $%.3f\n",
 		out.MakespanS, out.Missed, len(out.PerInstance), out.ActualCost)
+}
+
+// distMeasure runs the measurement through the coordinator–worker engine
+// and reports the per-worker tallies.
+func distMeasure(ctx context.Context, plan *scan.Plan, spec dist.Spec, fleet []dist.Worker) (*core.Measurement, error) {
+	m, stats, err := dist.Measure(ctx, plan, spec, fleet, dist.Options{})
+	for _, s := range stats {
+		line := fmt.Sprintf("  worker %s: %d started, %d won, %d stolen", s.Name, s.Started, s.Won, s.Stolen)
+		if s.Dead {
+			line += " (died; tasks re-dispatched)"
+		}
+		fmt.Println(line)
+	}
+	return m, err
 }
 
 // contentBacked reports whether every corpus file carries real bytes —

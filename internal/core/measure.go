@@ -40,7 +40,18 @@ type Measurement struct {
 	// Complexity maps file name to POS complexity (nil unless requested),
 	// in the exact shape RunProfileCtx consumes.
 	Complexity map[string]float64
+
+	// Sums holds every file's (name, size, checksum) in scan order — the
+	// ordered view of Manifest that Fingerprint folds. Two measurements
+	// with equal fingerprints saw byte-identical corpora in the same
+	// order, which is how the distributed engine's output is checked
+	// against a single-node run.
+	Sums []scan.FileSum
 }
+
+// Fingerprint folds the ordered per-file checksums into one FNV-64a
+// corpus identity (scan.FingerprintSums).
+func (m *Measurement) Fingerprint() uint64 { return scan.FingerprintSums(m.Sums) }
 
 // MeasureOptions selects which kernels a fused measurement runs beyond
 // the always-on checksum and text-stats pair.
@@ -72,36 +83,49 @@ func Measure(corpusFS *vfs.FS, opts MeasureOptions) (*Measurement, error) {
 // zero-copy scan path: their sources carry raw views, so the kernels read
 // borrowed windows of the mapping.
 func MeasureCtx(ctx context.Context, corpusFS *vfs.FS, opts MeasureOptions) (*Measurement, error) {
-	return MeasureSourcesCtx(ctx, scan.SequentialOrder(vfs.Sources(corpusFS.List())), opts)
+	return MeasurePlanCtx(ctx, scan.NewPlan(vfs.Sources(corpusFS.List()), scan.PlanOptions{}), opts)
 }
 
-// MeasureSourcesCtx is the source-level Measure: it runs the fused
-// measurement over an explicit, already-ordered source list. MeasureCtx
-// is a thin wrapper; callers that build sources themselves (pre-sliced
-// corpora, hand-picked shard subsets, benchmark baselines) use this
-// directly rather than materialising a throwaway FS.
-func MeasureSourcesCtx(ctx context.Context, srcs []scan.Source, opts MeasureOptions) (*Measurement, error) {
-	ck := scan.NewChecksum()
-	kernels := []scan.Kernel{ck}
+// MeasureKernels is the assembled kernel set of one fused measurement:
+// the prototypes a scan folds into and the registration-ordered list the
+// engine runs. The distributed engine reuses the same assembly on both
+// sides of the wire — coordinator prototypes and worker forks come from
+// the same constructor, which is what makes their snapshots compatible.
+type MeasureKernels struct {
+	Checksum *scan.Checksum
+	Stats    *textproc.StatsKernel           // nil when Complexity is requested
+	Fused    *workload.StatsComplexityKernel // nil unless Complexity is requested
+	Match    *textproc.MatchKernel           // nil without patterns
+
+	// List holds the kernels in registration order — the order snapshots
+	// travel in and the order Merge folds them.
+	List []scan.Kernel
+}
+
+// NewMeasureKernels assembles the kernel set MeasureOptions selects:
+// always the per-file checksum; the fused stats+complexity kernel when
+// complexity is requested (one shared StreamAnalyzer pass), else the
+// plain stats kernel; and the multi-pattern match kernel when patterns
+// are given.
+func NewMeasureKernels(opts MeasureOptions) (*MeasureKernels, error) {
+	mk := &MeasureKernels{Checksum: scan.NewChecksum()}
+	mk.List = []scan.Kernel{mk.Checksum}
 
 	// With complexity requested, one fused kernel computes stats and
 	// complexity from a single shared StreamAnalyzer pass; running the
 	// separate kernels side by side would tokenise every block twice.
-	var st *textproc.StatsKernel
-	var sc *workload.StatsComplexityKernel
 	if opts.Complexity {
 		tagger := opts.Tagger
 		if tagger == nil {
 			tagger = textproc.NewTagger()
 		}
-		sc = workload.NewStatsComplexityKernel(tagger)
-		kernels = append(kernels, sc)
+		mk.Fused = workload.NewStatsComplexityKernel(tagger)
+		mk.List = append(mk.List, mk.Fused)
 	} else {
-		st = textproc.NewStatsKernel()
-		kernels = append(kernels, st)
+		mk.Stats = textproc.NewStatsKernel()
+		mk.List = append(mk.List, mk.Stats)
 	}
 
-	var mk *textproc.MatchKernel
 	if len(opts.Patterns) > 0 {
 		var ms *textproc.MultiSearcher
 		var err error
@@ -111,41 +135,72 @@ func MeasureSourcesCtx(ctx context.Context, srcs []scan.Source, opts MeasureOpti
 			ms, err = textproc.NewMultiSearcher(opts.Patterns)
 		}
 		if err != nil {
-			return nil, errs.Stage("measure", errs.Invalid("%v", err))
+			return nil, errs.Invalid("%v", err)
 		}
-		mk = textproc.NewMatchKernel(ms)
-		kernels = append(kernels, mk)
+		mk.Match = textproc.NewMatchKernel(ms)
+		mk.List = append(mk.List, mk.Match)
 	}
+	return mk, nil
+}
 
-	if err := scan.Run(ctx, srcs, scan.Options{Workers: opts.Workers}, kernels...); err != nil {
-		return nil, errs.Stage("measure", err)
-	}
-
-	m := &Measurement{
-		Files:    len(srcs),
-		Manifest: make(vfs.Manifest, len(srcs)),
-	}
-	if sc != nil {
-		m.Stats = sc.Total()
-		m.Lines = sc.Lines()
-		m.FileStats = sc.StatsFiles()
-		m.Complexity = sc.Map()
+// Measurement assembles the result artefact from the kernels'
+// accumulated state after a completed scan.
+func (mk *MeasureKernels) Measurement() *Measurement {
+	m := &Measurement{Sums: mk.Checksum.Sums()}
+	m.Files = len(m.Sums)
+	m.Manifest = make(vfs.Manifest, m.Files)
+	if mk.Fused != nil {
+		m.Stats = mk.Fused.Total()
+		m.Lines = mk.Fused.Lines()
+		m.FileStats = mk.Fused.StatsFiles()
+		m.Complexity = mk.Fused.Map()
 	} else {
-		m.Stats = st.Total()
-		m.Lines = st.Lines()
-		m.FileStats = st.Files()
+		m.Stats = mk.Stats.Total()
+		m.Lines = mk.Stats.Lines()
+		m.FileStats = mk.Stats.Files()
 	}
-	for _, s := range ck.Sums() {
+	for _, s := range m.Sums {
 		m.Bytes += s.Size
 		m.Manifest[s.Name] = vfs.ManifestEntry{Size: s.Size, Checksum: s.Sum}
 	}
-	if mk != nil {
-		m.Patterns = mk.Searcher().Patterns()
-		m.PatternTotals = mk.Totals()
-		m.PatternFiles = mk.Files()
-		m.Matches = mk.TotalMatches()
+	if mk.Match != nil {
+		m.Patterns = mk.Match.Searcher().Patterns()
+		m.PatternTotals = mk.Match.Totals()
+		m.PatternFiles = mk.Match.Files()
+		m.Matches = mk.Match.TotalMatches()
 	}
-	return m, nil
+	return m
+}
+
+// MeasureSourcesCtx is the source-level Measure: it runs the fused
+// measurement over an explicit, already-ordered source list. MeasureCtx
+// is a thin wrapper; callers that build sources themselves (pre-sliced
+// corpora, hand-picked shard subsets, benchmark baselines) use this
+// directly rather than materialising a throwaway FS.
+func MeasureSourcesCtx(ctx context.Context, srcs []scan.Source, opts MeasureOptions) (*Measurement, error) {
+	mk, err := NewMeasureKernels(opts)
+	if err != nil {
+		return nil, errs.Stage("measure", err)
+	}
+	if err := scan.Run(ctx, srcs, scan.Options{Workers: opts.Workers}, mk.List...); err != nil {
+		return nil, errs.Stage("measure", err)
+	}
+	return mk.Measurement(), nil
+}
+
+// MeasurePlanCtx runs the fused measurement over a prepared scan plan —
+// all tasks, in order, via scan.Execute. It is the single-node twin of
+// the distributed engine's Measure: same plan type, same kernel
+// assembly, bit-identical results.
+func MeasurePlanCtx(ctx context.Context, p *scan.Plan, opts MeasureOptions) (*Measurement, error) {
+	mk, err := NewMeasureKernels(opts)
+	if err != nil {
+		return nil, errs.Stage("measure", err)
+	}
+	if err := scan.Execute(ctx, p, p.Tasks, scan.Options{Workers: opts.Workers}, mk.List...); err != nil {
+		return nil, errs.Stage("measure", err)
+	}
+	return mk.Measurement(), nil
 }
 
 // RunMeasured executes the pipeline over a content-backed corpus whose

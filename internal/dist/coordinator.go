@@ -1,0 +1,295 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/errs"
+	"repro/internal/scan"
+)
+
+// Options configures a coordinated run.
+type Options struct {
+	// MaxAttempts caps how many workers may attempt one task — the first
+	// dispatch plus steals and re-dispatches (0 = DefaultMaxAttempts).
+	// A task that exhausts its attempts fails the run rather than loop.
+	MaxAttempts int
+	// ScanWorkers bounds each worker's per-task scan fan-out
+	// (0 = GOMAXPROCS on the worker).
+	ScanWorkers int
+	// BlockSize pins the workers' streaming window (0 = default). Block
+	// splits never change results; pinning it keeps instrumented runs
+	// exactly reproducible.
+	BlockSize int
+}
+
+// DefaultMaxAttempts allows the initial dispatch plus two recoveries.
+const DefaultMaxAttempts = 3
+
+// WorkerStats reports one worker's share of a completed run.
+type WorkerStats struct {
+	// Name is the worker's self-reported identity.
+	Name string
+	// Started counts task attempts the worker began.
+	Started int
+	// Won counts attempts whose result the merge frontier used; losing
+	// speculative attempts count in Started only.
+	Won int
+	// Stolen counts attempts that speculated on a task already running
+	// elsewhere.
+	Stolen int
+	// Dead reports that the worker stopped answering (ErrUnavailable or
+	// a transport failure mapped onto it) and left the run; any task it
+	// was running was re-dispatched.
+	Dead bool
+}
+
+// coordinator is the shared state the per-worker loops contend on. All
+// fields are guarded by mu; cond wakes waiting loops when a task
+// completes, a task is requeued, or the run is over.
+type coordinator struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	tasks       []taskState
+	done        int // completed tasks
+	maxAttempts int
+
+	// frontier is the next task to fold: results are merged into the
+	// prototypes strictly in task order, exactly like the scan engine's
+	// per-file merge frontier, so the distributed fold is bit-identical
+	// to the in-process one.
+	frontier int
+	protos   []scan.Kernel
+
+	// fatalErr is the run's verdict on task failure: the error from the
+	// lowest failing task index, mirroring par.Pool's contract so
+	// single-node and distributed runs report the same error for the
+	// same fault.
+	fatalErr  error
+	fatalTask int
+
+	// cancelled is set when the run context ends; loops drain out.
+	cancelled bool
+}
+
+type taskState struct {
+	running  int // attempts in flight right now
+	attempts int // attempts ever started
+	done     bool
+	states   [][]byte // winning result, nil once folded
+}
+
+func (c *coordinator) finished() bool {
+	return c.done == len(c.tasks) || c.fatalErr != nil || c.cancelled
+}
+
+func (c *coordinator) fail(task int, err error) {
+	if c.fatalErr == nil || task < c.fatalTask {
+		c.fatalErr = err
+		c.fatalTask = task
+	}
+}
+
+// pick chooses the worker's next task under mu: the lowest-index task
+// nobody is running (fresh, or requeued after its worker died), else —
+// work stealing — the lowest-index unfinished task still within its
+// attempt budget, speculating against a possibly-slow owner. The first
+// completed attempt wins; the loser's result is discarded.
+func (c *coordinator) pick() (task int, steal, ok bool) {
+	for i := range c.tasks {
+		t := &c.tasks[i]
+		if !t.done && t.running == 0 && t.attempts < c.maxAttempts {
+			return i, false, true
+		}
+	}
+	for i := range c.tasks {
+		t := &c.tasks[i]
+		if !t.done && t.attempts < c.maxAttempts {
+			return i, true, true
+		}
+	}
+	return 0, false, false
+}
+
+// anyRunning reports whether some attempt is still in flight.
+func (c *coordinator) anyRunning() bool {
+	for i := range c.tasks {
+		if c.tasks[i].running > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// advanceFrontier folds every contiguously-completed task's states into
+// the prototypes, in task order: fork the prototype, restore the
+// portable state into the fork, merge — the exact in-process fold with a
+// Restore spliced in. Called under mu; Merge is never concurrent, per
+// the kernel contract.
+func (c *coordinator) advanceFrontier() {
+	for c.frontier < len(c.tasks) && c.tasks[c.frontier].done {
+		t := &c.tasks[c.frontier]
+		if len(t.states) != len(c.protos) {
+			c.fail(c.frontier, errs.Invalid("dist: task %d returned %d kernel states, want %d",
+				c.frontier, len(t.states), len(c.protos)))
+			return
+		}
+		for j, proto := range c.protos {
+			fork := proto.Fork()
+			if err := scan.RestoreKernel(fork, t.states[j]); err != nil {
+				c.fail(c.frontier, err)
+				return
+			}
+			proto.Merge(fork)
+		}
+		t.states = nil
+		c.frontier++
+	}
+}
+
+// Run distributes the plan's tasks across the workers and folds their
+// kernel states into the prototypes in task order. On success the
+// prototypes hold exactly what scan.Execute over the full plan would
+// have left in them — bit-identical by the portable-state and
+// associative-fold contracts — and the stats describe who did what
+// (stats are returned for failed runs too, for diagnostics). On failure
+// the prototypes hold an unspecified prefix and must be discarded; the
+// error is the lowest-task-index failure, with cancellation mapped
+// through the errs sentinels per the scan determinism contract.
+func Run(ctx context.Context, plan *scan.Plan, spec Spec, workers []Worker, opts Options, protos ...scan.Kernel) ([]WorkerStats, error) {
+	if len(workers) == 0 {
+		return nil, errs.Invalid("dist: no workers")
+	}
+	if len(protos) == 0 {
+		return nil, errs.Invalid("dist: no kernels registered")
+	}
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
+
+	c := &coordinator{
+		tasks:       make([]taskState, len(plan.Tasks)),
+		maxAttempts: maxAttempts,
+		protos:      protos,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	stats := make([]WorkerStats, len(workers))
+	for i, w := range workers {
+		stats[i] = WorkerStats{Name: w.Name()}
+	}
+
+	// A context watcher flips the run into draining: waiting loops wake
+	// and exit, in-flight Scan calls unwind through their own ctx.
+	stopWatch := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cancelled = true
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stopWatch()
+
+	planFP := plan.Fingerprint()
+	var wg sync.WaitGroup
+	for wi, w := range workers {
+		wg.Add(1)
+		go func(wi int, w Worker) {
+			defer wg.Done()
+			st := &stats[wi]
+			for {
+				c.mu.Lock()
+				var task int
+				var steal bool
+				for {
+					if c.finished() {
+						c.mu.Unlock()
+						return
+					}
+					var ok bool
+					if task, steal, ok = c.pick(); ok {
+						break
+					}
+					if !c.anyRunning() {
+						// Every unfinished task has exhausted its attempt
+						// budget and nobody is still trying: the run cannot
+						// make progress.
+						for i := range c.tasks {
+							if !c.tasks[i].done {
+								c.fail(i, errs.Unavailable("dist: task %d failed %d attempts", i, c.tasks[i].attempts))
+								break
+							}
+						}
+						c.cond.Broadcast()
+						c.mu.Unlock()
+						return
+					}
+					c.cond.Wait()
+				}
+				t := &c.tasks[task]
+				t.running++
+				t.attempts++
+				st.Started++
+				if steal {
+					st.Stolen++
+				}
+				c.mu.Unlock()
+
+				resp, err := w.Scan(ctx, &ScanRequest{
+					PlanFP:      planFP,
+					Spec:        spec,
+					Task:        task,
+					ScanWorkers: opts.ScanWorkers,
+					BlockSize:   opts.BlockSize,
+				})
+
+				c.mu.Lock()
+				t.running--
+				switch {
+				case err != nil && ctx.Err() != nil:
+					// The run is being cancelled; the error is just that
+					// cancellation echoing back.
+					c.cancelled = true
+				case errors.Is(err, errs.ErrUnavailable):
+					// The worker is gone. Its decrement above requeues the
+					// task (running is back to 0, done is not set); the
+					// broadcast hands it to whoever is idle. This loop exits
+					// — a dead worker gets no more work.
+					st.Dead = true
+					c.cond.Broadcast()
+					c.mu.Unlock()
+					return
+				case err != nil:
+					// A real task failure (corrupt shard, invalid request):
+					// deterministic, so retrying elsewhere would fail the
+					// same way. Record at this task's index and stop the run.
+					c.fail(task, err)
+				case !t.done:
+					t.done = true
+					t.states = resp.States
+					c.done++
+					st.Won++
+					c.advanceFrontier()
+				}
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			}
+		}(wi, w)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case c.fatalErr != nil:
+		return stats, c.fatalErr
+	case ctx.Err() != nil:
+		return stats, errs.FromContext(ctx)
+	case c.done < len(c.tasks):
+		// Every worker loop exited (all dead) with work outstanding.
+		return stats, errs.Unavailable("dist: all %d workers unavailable with %d of %d tasks unfinished",
+			len(workers), len(c.tasks)-c.done, len(c.tasks))
+	}
+	return stats, nil
+}

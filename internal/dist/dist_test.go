@@ -1,0 +1,332 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/errs"
+	"repro/internal/scan"
+	"repro/internal/vfs"
+)
+
+// testPlan builds a small in-memory corpus and a plan chopped into many
+// tasks (tiny TaskBytes), so even four workers have work to contend
+// over.
+func testPlan(t *testing.T, n int) *scan.Plan {
+	t.Helper()
+	fs := vfs.NewFS()
+	for i := 0; i < n; i++ {
+		text := fmt.Sprintf("File %d says the error count is %d. Unknownzz word! lines\nhere. The end? Yes!", i, i*7)
+		if i%3 == 0 {
+			text += " An ERROR in upper case, and errors besides; the theory holds."
+		}
+		if err := fs.Add(vfs.BytesFile(fmt.Sprintf("doc-%03d.txt", i), []byte(text))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := scan.NewPlan(vfs.Sources(fs.List()), scan.PlanOptions{TaskBytes: 300})
+	if len(p.Tasks) < 3 {
+		t.Fatalf("want ≥3 tasks for contention, got %d", len(p.Tasks))
+	}
+	return p
+}
+
+func singleNode(t *testing.T, p *scan.Plan, spec Spec) *core.Measurement {
+	t.Helper()
+	m, err := core.MeasurePlanCtx(context.Background(), p, spec.MeasureOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// sameMeasurement asserts got is bit-identical to want in every output
+// the measurement carries: manifest checksums (via the ordered
+// fingerprint), text statistics, grep counts and complexity.
+func sameMeasurement(t *testing.T, got, want *core.Measurement) {
+	t.Helper()
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Errorf("fingerprint %016x, want %016x", got.Fingerprint(), want.Fingerprint())
+	}
+	if got.Files != want.Files || got.Bytes != want.Bytes {
+		t.Errorf("files/bytes = %d/%d, want %d/%d", got.Files, got.Bytes, want.Files, want.Bytes)
+	}
+	if got.Stats != want.Stats || got.Lines != want.Lines {
+		t.Errorf("stats = %+v lines %d, want %+v lines %d", got.Stats, got.Lines, want.Stats, want.Lines)
+	}
+	if !reflect.DeepEqual(got.FileStats, want.FileStats) {
+		t.Error("per-file stats differ")
+	}
+	if !reflect.DeepEqual(got.Sums, want.Sums) {
+		t.Error("ordered checksums differ")
+	}
+	if !reflect.DeepEqual(got.Patterns, want.Patterns) || !reflect.DeepEqual(got.PatternTotals, want.PatternTotals) || got.Matches != want.Matches {
+		t.Errorf("pattern totals %v (%d matches), want %v (%d)", got.PatternTotals, got.Matches, want.PatternTotals, want.Matches)
+	}
+	if !reflect.DeepEqual(got.PatternFiles, want.PatternFiles) {
+		t.Error("per-file pattern counts differ")
+	}
+	if !reflect.DeepEqual(got.Complexity, want.Complexity) {
+		t.Error("complexity maps differ")
+	}
+}
+
+func localWorkers(t *testing.T, p *scan.Plan, spec Spec, n int) []Worker {
+	t.Helper()
+	ws := make([]Worker, n)
+	for i := range ws {
+		l, err := NewLocal(fmt.Sprintf("w%d", i), p, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = l
+	}
+	return ws
+}
+
+// TestMeasureBitIdentical pins the acceptance contract: the distributed
+// measurement equals the single-node fused scan bit for bit at worker
+// counts 1, 2 and 4, with and without the complexity kernel.
+func TestMeasureBitIdentical(t *testing.T) {
+	specs := map[string]Spec{
+		"stats":           {Patterns: []string{"error", "the"}},
+		"complexity-fold": {Patterns: []string{"error", "the"}, FoldCase: true, Complexity: true},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			p := testPlan(t, 24)
+			want := singleNode(t, p, spec)
+			for _, n := range []int{1, 2, 4} {
+				t.Run(fmt.Sprintf("workers-%d", n), func(t *testing.T) {
+					m, stats, err := Measure(context.Background(), p, spec, localWorkers(t, p, spec, n), Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameMeasurement(t, m, want)
+					won := 0
+					for _, s := range stats {
+						won += s.Won
+					}
+					if won != len(p.Tasks) {
+						t.Errorf("workers won %d tasks, plan has %d", won, len(p.Tasks))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestWorkerDiesMidRun kills one worker partway through — it completes
+// its first task, then reports ErrUnavailable on its second — and checks
+// the survivor picks up the re-dispatched task and the output stays
+// bit-identical. The survivor is gated on the death event, so the dying
+// worker deterministically gets both attempts in first.
+func TestWorkerDiesMidRun(t *testing.T) {
+	spec := Spec{Patterns: []string{"error"}, Complexity: true}
+	p := testPlan(t, 24)
+	want := singleNode(t, p, spec)
+
+	died := make(chan struct{})
+	dying, err := NewLocal("dying", p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	var mu sync.Mutex
+	dying.fault = func(ctx context.Context, task int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if calls >= 2 {
+			if calls == 2 {
+				close(died)
+			}
+			return errs.Unavailable("induced death")
+		}
+		return nil
+	}
+	survivorLocal, err := NewLocal("survivor", p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor := &gatedWorker{Local: survivorLocal, gate: died}
+
+	m, stats, err := Measure(context.Background(), p, spec, []Worker{dying, survivor}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMeasurement(t, m, want)
+	if !stats[0].Dead {
+		t.Errorf("dying worker not marked dead: %+v", stats[0])
+	}
+	if stats[0].Won != 1 {
+		t.Errorf("dying worker won %d tasks, want 1", stats[0].Won)
+	}
+	if stats[1].Dead {
+		t.Errorf("survivor marked dead: %+v", stats[1])
+	}
+	if stats[1].Won != len(p.Tasks)-1 {
+		t.Errorf("survivor won %d tasks, want %d (including the re-dispatched one)", stats[1].Won, len(p.Tasks)-1)
+	}
+}
+
+// gatedWorker delays its first scan until gate closes.
+type gatedWorker struct {
+	*Local
+	gate <-chan struct{}
+}
+
+func (w *gatedWorker) Scan(ctx context.Context, req *ScanRequest) (*ScanResponse, error) {
+	<-w.gate
+	return w.Local.Scan(ctx, req)
+}
+
+// TestAllWorkersDie checks the run fails with ErrUnavailable — not a
+// hang — when every worker stops answering.
+func TestAllWorkersDie(t *testing.T) {
+	spec := Spec{}
+	p := testPlan(t, 12)
+	ws := localWorkers(t, p, spec, 2)
+	for _, w := range ws {
+		w.(*Local).fault = func(ctx context.Context, task int) error {
+			return errs.Unavailable("induced death")
+		}
+	}
+	_, stats, err := Measure(context.Background(), p, spec, ws, Options{})
+	if !errors.Is(err, errs.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	for i, s := range stats {
+		if !s.Dead {
+			t.Errorf("worker %d not marked dead", i)
+		}
+	}
+}
+
+// TestCancellationPropagates pins the determinism contract's
+// cancellation clause: cancelling the run context surfaces ErrCancelled
+// through the dist stage, while a worker is blocked mid-task.
+func TestCancellationPropagates(t *testing.T) {
+	spec := Spec{}
+	p := testPlan(t, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// The canceller cancels the run from inside its first task attempt;
+	// the bystander is gated on that cancellation, so every task it ever
+	// sees runs under a dead context — pinning that cancellation drains
+	// the whole fleet, not just the worker that observed it first.
+	canceller, err := NewLocal("canceller", p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	canceller.fault = func(fctx context.Context, task int) error {
+		once.Do(cancel)
+		<-fctx.Done()
+		return errs.FromContext(fctx)
+	}
+	bystanderLocal, err := NewLocal("bystander", p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bystander := &gatedWorker{Local: bystanderLocal, gate: ctx.Done()}
+
+	_, _, err = Measure(ctx, p, spec, []Worker{canceller, bystander}, Options{})
+	if !errors.Is(err, errs.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if got := errs.StageOf(err); got != "dist" {
+		t.Errorf("stage = %q, want dist", got)
+	}
+}
+
+// TestPlanMismatchIsFatal checks the fingerprint preflight: a worker
+// whose corpus view derived a different plan refuses with ErrInvalid and
+// the run fails instead of folding wrong slices.
+func TestPlanMismatchIsFatal(t *testing.T) {
+	spec := Spec{}
+	p := testPlan(t, 12)
+	other := testPlan(t, 13) // one file more → different plan
+	w, err := NewLocal("w0", other, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Measure(context.Background(), p, spec, []Worker{w}, Options{})
+	if !errors.Is(err, errs.ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+}
+
+// countingWorker wraps a Local for the stealing test's choreography: it
+// waits for the slow worker to claim a task before doing anything, and
+// closes release once it has completed enough tasks itself.
+type countingWorker struct {
+	*Local
+	claimed <-chan struct{}
+	after   int
+	release chan struct{}
+	done    int
+	mu      sync.Mutex
+}
+
+func (w *countingWorker) Scan(ctx context.Context, req *ScanRequest) (*ScanResponse, error) {
+	<-w.claimed // the slow worker holds its task before we race ahead
+	resp, err := w.Local.Scan(ctx, req)
+	if err == nil {
+		w.mu.Lock()
+		w.done++
+		if w.done == w.after {
+			close(w.release)
+		}
+		w.mu.Unlock()
+	}
+	return resp, err
+}
+
+// TestStealFromSlowWorker blocks the slow worker inside whichever task
+// it claims first while the fast worker finishes everything else; the
+// fast worker must then steal the held task so the run completes —
+// bit-identical — without waiting for the straggler, whose late result
+// is discarded. The release only opens once the fast worker has
+// completed every task (including the stolen one), so the choreography
+// is deterministic.
+func TestStealFromSlowWorker(t *testing.T) {
+	spec := Spec{Patterns: []string{"the"}}
+	p := testPlan(t, 24)
+	want := singleNode(t, p, spec)
+
+	release := make(chan struct{})
+	claimed := make(chan struct{})
+	slow, err := NewLocal("slow", p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var claimOnce sync.Once
+	slow.fault = func(ctx context.Context, task int) error {
+		claimOnce.Do(func() { close(claimed) })
+		<-release // held until the fast worker has done everything
+		return nil
+	}
+	fastLocal, err := NewLocal("fast", p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := &countingWorker{Local: fastLocal, claimed: claimed, after: len(p.Tasks), release: release}
+
+	m, stats, err := Measure(context.Background(), p, spec, []Worker{slow, fast}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMeasurement(t, m, want)
+	if stats[1].Stolen == 0 {
+		t.Errorf("fast worker stole nothing: %+v", stats)
+	}
+	if stats[1].Won != len(p.Tasks) {
+		t.Errorf("fast worker won %d of %d tasks", stats[1].Won, len(p.Tasks))
+	}
+}

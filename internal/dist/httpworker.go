@@ -1,0 +1,193 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/errs"
+	"repro/internal/scan"
+	"repro/internal/server"
+)
+
+// HTTPWorker is the coordinator-side client for a remote worker daemon:
+// one POST /v1/scan per task, JSON both ways. Any transport failure —
+// connection refused, reset mid-response, the process killed — maps onto
+// ErrUnavailable, which is precisely the coordinator's re-dispatch
+// signal: a vanished worker is indistinguishable from one that answered
+// 503, and both mean "give the task to someone else".
+type HTTPWorker struct {
+	name string
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPWorker returns a client for the worker daemon at baseURL (e.g.
+// "http://127.0.0.1:9101"). The request context governs timeouts; the
+// client itself sets none.
+func NewHTTPWorker(name, baseURL string) *HTTPWorker {
+	return &HTTPWorker{name: name, base: baseURL, hc: &http.Client{}}
+}
+
+// Name implements Worker.
+func (w *HTTPWorker) Name() string { return w.name }
+
+// Scan implements Worker.
+func (w *HTTPWorker) Scan(ctx context.Context, req *ScanRequest) (*ScanResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, errs.Invalid("dist: encoding scan request: %v", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/v1/scan", bytes.NewReader(body))
+	if err != nil {
+		return nil, errs.Invalid("dist: worker %q request: %v", w.name, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, errs.FromContext(ctx)
+		}
+		return nil, errs.Unavailable("dist: worker %q: %v", w.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, w.statusError(resp)
+	}
+	var sr ScanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		if ctx.Err() != nil {
+			return nil, errs.FromContext(ctx)
+		}
+		// A response that dies mid-body is the worker dying, not data
+		// corruption — still a re-dispatch.
+		return nil, errs.Unavailable("dist: worker %q: truncated response: %v", w.name, err)
+	}
+	return &sr, nil
+}
+
+// statusError maps a non-200 answer back onto the taxonomy — the inverse
+// of errs.HTTPStatus, so a sentinel crossing the wire comes back as
+// itself: 503 re-dispatches, 400 is a protocol bug, and a 500-class scan
+// failure stays fatal exactly as it would be in-process.
+func (w *HTTPWorker) statusError(resp *http.Response) error {
+	msg := "(no body)"
+	if b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10)); err == nil && len(b) > 0 {
+		var eb server.ErrorBody
+		if json.Unmarshal(b, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		} else {
+			msg = string(bytes.TrimSpace(b))
+		}
+	}
+	switch resp.StatusCode {
+	case 400:
+		return errs.Invalid("dist: worker %q: %s", w.name, msg)
+	case 404:
+		return errs.NotFound("dist: worker %q: %s", w.name, msg)
+	case 499:
+		return fmt.Errorf("dist: worker %q: %s: %w", w.name, msg, errs.ErrCancelled)
+	case 503:
+		return errs.Unavailable("dist: worker %q: %s", w.name, msg)
+	case 504:
+		return fmt.Errorf("dist: worker %q: %s: %w", w.name, msg, errs.ErrDeadline)
+	default:
+		return fmt.Errorf("dist: worker %q: status %d: %s", w.name, resp.StatusCode, msg)
+	}
+}
+
+// WorkerServer is the daemon half: it owns a plan over its local corpus
+// view and answers POST /v1/scan by executing the requested task through
+// an in-process Local worker. The Local (and its amortised automata and
+// lexicons) is cached per spec — coordinators send one spec per run, so
+// steady state is build-once.
+//
+//	POST /v1/scan  execute one plan task, return serialized kernel states
+//	GET  /healthz  liveness
+//
+// Errors leave through server.WriteError, so the status codes are
+// exactly errs.HTTPStatus's table and HTTPWorker's statusError inverts
+// them faithfully.
+type WorkerServer struct {
+	name string
+	plan *scan.Plan
+
+	mu      sync.Mutex
+	local   *Local
+	specKey string
+}
+
+// NewWorkerServer returns a worker daemon over the plan.
+func NewWorkerServer(name string, plan *scan.Plan) *WorkerServer {
+	return &WorkerServer{name: name, plan: plan}
+}
+
+// Handler returns the HTTP handler; the caller owns the http.Server and
+// listener around it.
+func (s *WorkerServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/scan", s.handleScan)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// localFor returns the cached Local for the spec, building one on first
+// use or spec change.
+func (s *WorkerServer) localFor(spec Spec) (*Local, error) {
+	key, err := json.Marshal(spec)
+	if err != nil {
+		return nil, errs.Invalid("dist: encoding spec: %v", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.local == nil || s.specKey != string(key) {
+		l, err := NewLocal(s.name, s.plan, spec)
+		if err != nil {
+			return nil, err
+		}
+		s.local, s.specKey = l, string(key)
+	}
+	return s.local, nil
+}
+
+func (s *WorkerServer) handleScan(w http.ResponseWriter, r *http.Request) {
+	var req ScanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		server.WriteError(w, errs.Invalid("dist: bad scan request: %v", err))
+		return
+	}
+	l, err := s.localFor(req.Spec)
+	if err != nil {
+		server.WriteError(w, err)
+		return
+	}
+	resp, err := l.Scan(r.Context(), &req)
+	if err != nil {
+		server.WriteError(w, errs.Categorize(err))
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, resp)
+}
+
+// WorkerHealth is the worker daemon's /healthz document.
+type WorkerHealth struct {
+	Status string `json:"status"`
+	Name   string `json:"name"`
+	Files  int    `json:"files"`
+	Tasks  int    `json:"tasks"`
+	PlanFP string `json:"plan_fp"`
+}
+
+func (s *WorkerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	server.WriteJSON(w, http.StatusOK, &WorkerHealth{
+		Status: "ok",
+		Name:   s.name,
+		Files:  len(s.plan.Sources),
+		Tasks:  len(s.plan.Tasks),
+		PlanFP: fmt.Sprintf("%016x", s.plan.Fingerprint()),
+	})
+}

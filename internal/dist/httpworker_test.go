@@ -1,0 +1,171 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/errs"
+)
+
+// TestHTTPWorkersBitIdentical runs the distributed measurement over real
+// HTTP round trips (two worker daemons on loopback) and checks the
+// output equals the single-node fused scan bit for bit.
+func TestHTTPWorkersBitIdentical(t *testing.T) {
+	spec := Spec{Patterns: []string{"error", "the"}, Complexity: true}
+	p := testPlan(t, 24)
+	want := singleNode(t, p, spec)
+
+	var workers []Worker
+	for _, name := range []string{"w0", "w1"} {
+		ts := httptest.NewServer(NewWorkerServer(name, p).Handler())
+		defer ts.Close()
+		workers = append(workers, NewHTTPWorker(name, ts.URL))
+	}
+
+	m, stats, err := Measure(context.Background(), p, spec, workers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMeasurement(t, m, want)
+	won := 0
+	for _, s := range stats {
+		won += s.Won
+	}
+	if won != len(p.Tasks) {
+		t.Errorf("workers won %d tasks, plan has %d", won, len(p.Tasks))
+	}
+}
+
+// abortOnce aborts the first /v1/scan request mid-response — the HTTP
+// spelling of killing a worker mid-flight: the client sees a dead
+// connection, not an error document.
+type abortOnce struct {
+	inner http.Handler
+	mu    sync.Mutex
+	done  bool
+}
+
+func (a *abortOnce) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	first := !a.done
+	a.done = true
+	a.mu.Unlock()
+	if first && r.URL.Path == "/v1/scan" {
+		panic(http.ErrAbortHandler)
+	}
+	a.inner.ServeHTTP(w, r)
+}
+
+// TestHTTPWorkerKilledMidFlight kills one HTTP worker's connection in
+// the middle of its first task; the coordinator must map the transport
+// failure onto ErrUnavailable, mark the worker dead, re-dispatch the
+// task to the survivor, and still produce bit-identical output.
+func TestHTTPWorkerKilledMidFlight(t *testing.T) {
+	spec := Spec{Patterns: []string{"error"}}
+	p := testPlan(t, 24)
+	want := singleNode(t, p, spec)
+
+	died := make(chan struct{})
+	dyingSrv := httptest.NewServer(&notifyAbort{abort: &abortOnce{inner: NewWorkerServer("dying", p).Handler()}, died: died})
+	defer dyingSrv.Close()
+	survivorSrv := httptest.NewServer(NewWorkerServer("survivor", p).Handler())
+	defer survivorSrv.Close()
+
+	dying := NewHTTPWorker("dying", dyingSrv.URL)
+	survivor := &gatedHTTPWorker{HTTPWorker: NewHTTPWorker("survivor", survivorSrv.URL), gate: died}
+
+	m, stats, err := Measure(context.Background(), p, spec, []Worker{dying, survivor}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMeasurement(t, m, want)
+	if !stats[0].Dead {
+		t.Errorf("dying worker not marked dead: %+v", stats[0])
+	}
+	if stats[1].Won != len(p.Tasks) {
+		t.Errorf("survivor won %d of %d tasks", stats[1].Won, len(p.Tasks))
+	}
+}
+
+// notifyAbort closes died once the wrapped abortOnce has fired.
+type notifyAbort struct {
+	abort *abortOnce
+	died  chan struct{}
+	once  sync.Once
+}
+
+func (n *notifyAbort) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer n.once.Do(func() { close(n.died) })
+	n.abort.ServeHTTP(w, r)
+}
+
+// gatedHTTPWorker delays its first scan until gate closes.
+type gatedHTTPWorker struct {
+	*HTTPWorker
+	gate <-chan struct{}
+}
+
+func (w *gatedHTTPWorker) Scan(ctx context.Context, req *ScanRequest) (*ScanResponse, error) {
+	<-w.gate
+	return w.HTTPWorker.Scan(ctx, req)
+}
+
+// TestHTTPWorkerConnectionRefused checks a worker that never existed
+// (nothing listening) maps onto ErrUnavailable, so a fleet with one dead
+// address still completes on the survivors.
+func TestHTTPWorkerConnectionRefused(t *testing.T) {
+	spec := Spec{}
+	p := testPlan(t, 12)
+	want := singleNode(t, p, spec)
+
+	ts := httptest.NewServer(NewWorkerServer("live", p).Handler())
+	defer ts.Close()
+
+	failed := make(chan struct{})
+	ghost := &failNotifyWorker{Worker: NewHTTPWorker("ghost", "http://127.0.0.1:1"), failed: failed}
+	live := &gatedHTTPWorker{HTTPWorker: NewHTTPWorker("live", ts.URL), gate: failed}
+
+	m, stats, err := Measure(context.Background(), p, spec, []Worker{ghost, live}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMeasurement(t, m, want)
+	if !stats[0].Dead {
+		t.Errorf("ghost worker not marked dead: %+v", stats[0])
+	}
+}
+
+// failNotifyWorker closes failed once the wrapped worker errors.
+type failNotifyWorker struct {
+	Worker
+	failed chan struct{}
+	once   sync.Once
+}
+
+func (w *failNotifyWorker) Scan(ctx context.Context, req *ScanRequest) (*ScanResponse, error) {
+	resp, err := w.Worker.Scan(ctx, req)
+	if err != nil {
+		w.once.Do(func() { close(w.failed) })
+	}
+	return resp, err
+}
+
+// TestHTTPWorkerPlanMismatch checks the fingerprint preflight crosses
+// the wire: a daemon serving a different corpus answers 400 and the run
+// fails with ErrInvalid.
+func TestHTTPWorkerPlanMismatch(t *testing.T) {
+	spec := Spec{}
+	p := testPlan(t, 12)
+	other := testPlan(t, 13)
+	ts := httptest.NewServer(NewWorkerServer("stale", other).Handler())
+	defer ts.Close()
+
+	_, _, err := Measure(context.Background(), p, spec, []Worker{NewHTTPWorker("stale", ts.URL)}, Options{})
+	if !errors.Is(err, errs.ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+}

@@ -1,0 +1,29 @@
+package dist
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/errs"
+	"repro/internal/scan"
+)
+
+// Measure runs the distributed fused measurement: coordinator-side
+// prototypes assembled from the spec, the plan's tasks spread across the
+// workers, states folded back in task order. The resulting Measurement
+// is bit-identical to core.MeasurePlanCtx over the same plan and
+// options — manifest checksums, grep counts, text statistics and
+// per-file complexity all — at any worker count, including runs where
+// workers died and their tasks were re-dispatched. Errors carry the
+// "dist" stage.
+func Measure(ctx context.Context, plan *scan.Plan, spec Spec, workers []Worker, opts Options) (*core.Measurement, []WorkerStats, error) {
+	mk, err := spec.Kernels()
+	if err != nil {
+		return nil, nil, errs.Stage("dist", err)
+	}
+	stats, err := Run(ctx, plan, spec, workers, opts, mk.List...)
+	if err != nil {
+		return nil, stats, errs.Stage("dist", err)
+	}
+	return mk.Measurement(), stats, nil
+}

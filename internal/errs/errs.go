@@ -12,7 +12,9 @@
 //   - ErrCorrupt: stored bytes fail their checksum or structural
 //     invariants (pack records, manifests, declared sizes);
 //   - ErrNotFound: a named file, member or dataset does not exist;
-//   - ErrInvalid: a caller-supplied parameter is out of range.
+//   - ErrInvalid: a caller-supplied parameter is out of range;
+//   - ErrUnavailable: a resource cannot serve right now — retry
+//     elsewhere (a dead scan worker, a draining server).
 //
 // errs imports nothing from the repository, so any package — including
 // internal/par at the very bottom — can depend on it.
@@ -37,6 +39,12 @@ var (
 	ErrNotFound = errors.New("not found")
 	// ErrInvalid marks an out-of-range or contradictory parameter.
 	ErrInvalid = errors.New("invalid argument")
+	// ErrUnavailable marks a resource that exists but cannot serve right
+	// now — a worker that stopped answering, a server draining for
+	// shutdown. Unlike the other categories it signals "retry elsewhere":
+	// the distributed scan re-dispatches a shard when its worker reports
+	// (or becomes) unavailable.
+	ErrUnavailable = errors.New("unavailable")
 )
 
 // FromContext maps a context's termination cause onto the taxonomy:
@@ -150,4 +158,9 @@ func NotFound(format string, args ...any) error {
 // Invalid builds an ErrInvalid-tagged error.
 func Invalid(format string, args ...any) error {
 	return fmt.Errorf(format+": %w", append(args, ErrInvalid)...)
+}
+
+// Unavailable builds an ErrUnavailable-tagged error.
+func Unavailable(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrUnavailable)...)
 }

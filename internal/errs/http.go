@@ -19,13 +19,14 @@ const (
 // the single shared table — CLI exit codes and server status codes both
 // derive from the same sentinels:
 //
-//	nil          → 200
-//	ErrInvalid   → 400 (bad request: caller-supplied parameter)
-//	ErrNotFound  → 404
-//	ErrCancelled → 499 (client closed request)
-//	ErrDeadline  → 504 (gateway timeout: the work ran out of wall clock)
-//	ErrCorrupt   → 500
-//	anything else → 500
+//	nil            → 200
+//	ErrInvalid     → 400 (bad request: caller-supplied parameter)
+//	ErrNotFound    → 404
+//	ErrCancelled   → 499 (client closed request)
+//	ErrUnavailable → 503 (service unavailable: retry elsewhere or later)
+//	ErrDeadline    → 504 (gateway timeout: the work ran out of wall clock)
+//	ErrCorrupt     → 500
+//	anything else  → 500
 func HTTPStatus(err error) int {
 	err = Categorize(err)
 	switch {
@@ -35,6 +36,8 @@ func HTTPStatus(err error) int {
 		return 400
 	case errors.Is(err, ErrNotFound):
 		return 404
+	case errors.Is(err, ErrUnavailable):
+		return 503
 	case errors.Is(err, ErrDeadline):
 		return 504
 	case errors.Is(err, ErrCancelled):

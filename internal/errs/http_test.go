@@ -23,6 +23,9 @@ func TestHTTPStatus(t *testing.T) {
 		{"invalid-staged", Stage("grep", Invalid("no patterns")), 400},
 		{"not-found", ErrNotFound, 404},
 		{"not-found-built", NotFound("member %q", "m-000042"), 404},
+		{"unavailable", ErrUnavailable, 503},
+		{"unavailable-built", Unavailable("worker %q gone", "w1"), 503},
+		{"unavailable-staged", Stage("dist", Unavailable("no live workers")), 503},
 		{"deadline", ErrDeadline, 504},
 		{"deadline-staged", StageFile("measure", "f01", fmt.Errorf("scan: %w", ErrDeadline)), 504},
 		{"deadline-raw-context", context.DeadlineExceeded, 504},

@@ -17,6 +17,13 @@ func fnvFold(h uint64, p []byte) uint64 {
 	return h
 }
 
+func fnvFoldString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
 // FileSum is one scanned file's identity: its name, declared size, and
 // FNV-64a checksum of its content.
 type FileSum struct {
@@ -25,7 +32,26 @@ type FileSum struct {
 	Sum  uint64
 }
 
-// Checksum is the per-file FNV-64a kernel: after a Run it holds one
+// FingerprintSums folds every file's (name, size, checksum) into one
+// FNV-64a corpus identity, in input order. Unlike the order-sequential
+// Combined fold it is computable from the parallel per-file sums, so it
+// is the corpus fingerprint the resident server and the distributed scan
+// both report — equal fingerprints mean byte-identical manifests.
+func FingerprintSums(sums []FileSum) uint64 {
+	h := uint64(fnvOffset64)
+	var buf [16]byte
+	for _, s := range sums {
+		h = fnvFoldString(h, s.Name)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(s.Size >> (8 * i))
+			buf[8+i] = byte(s.Sum >> (8 * i))
+		}
+		h = fnvFold(h, buf[:])
+	}
+	return h
+}
+
+// Checksum is the per-file FNV-64a kernel: after a run it holds one
 // FileSum per scanned file, in input order.
 type Checksum struct {
 	h    uint64
@@ -48,25 +74,66 @@ func (c *Checksum) Begin(src Source) {
 // Block implements Kernel.
 func (c *Checksum) Block(p []byte) { c.h = fnvFold(c.h, p) }
 
-// End implements Kernel.
-func (c *Checksum) End() { c.cur.Sum = c.h }
+// End implements Kernel: the completed file is folded into the kernel's
+// own accumulation.
+func (c *Checksum) End() {
+	c.cur.Sum = c.h
+	c.sums = append(c.sums, c.cur)
+}
 
-// Merge implements Kernel: it appends the completed file carried by a
-// forked instance, preserving the engine's input order.
+// Merge implements Kernel: it appends the other kernel's completed files
+// — one for an engine-forked instance, a whole shard's worth for a
+// restored one — preserving input order, and drains the other so a
+// recycled instance starts empty.
 func (c *Checksum) Merge(other Kernel) {
-	c.sums = append(c.sums, other.(*Checksum).cur)
+	o := other.(*Checksum)
+	c.sums = append(c.sums, o.sums...)
+	o.sums = o.sums[:0]
 }
 
 // Sums returns the per-file checksums in input order. The slice is owned
 // by the kernel.
 func (c *Checksum) Sums() []FileSum { return c.sums }
 
+const checksumTag = 'C'
+
+// Snapshot implements StateCodec: the accumulated per-file sums.
+func (c *Checksum) Snapshot() ([]byte, error) {
+	var e StateEncoder
+	e.Tag(checksumTag)
+	e.Int(len(c.sums))
+	for _, s := range c.sums {
+		e.Str(s.Name)
+		e.I64(s.Size)
+		e.U64(s.Sum)
+	}
+	return e.Bytes(), nil
+}
+
+// Restore implements StateCodec.
+func (c *Checksum) Restore(state []byte) error {
+	d := NewStateDecoder(state)
+	d.Tag(checksumTag)
+	n := d.Len()
+	sums := make([]FileSum, 0, n)
+	for i := 0; i < n; i++ {
+		sums = append(sums, FileSum{Name: d.Str(), Size: d.I64(), Sum: d.U64()})
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	c.sums = sums
+	return nil
+}
+
 // Combined is the order-sequential corpus checksum kernel: one FNV-64a
 // state folded across every file's bytes in delivery order, equal to
 // hashing the concatenation of all inputs. Because the fold order defines
 // the value, Combined is only meaningful under RunOrdered; it cannot
 // participate in out-of-order merges, and Merge panics to make that
-// misuse loud.
+// misuse loud. Its portable state is the running fold itself, so an
+// ordered scan can pause, cross a process boundary, and resume — but it
+// cannot be distributed across concurrent workers.
 type Combined struct {
 	h uint64
 }
@@ -96,3 +163,25 @@ func (c *Combined) Merge(Kernel) {
 
 // Sum returns the running combined checksum.
 func (c *Combined) Sum() uint64 { return c.h }
+
+const combinedTag = 'O'
+
+// Snapshot implements StateCodec: the running fold.
+func (c *Combined) Snapshot() ([]byte, error) {
+	var e StateEncoder
+	e.Tag(combinedTag)
+	e.U64(c.h)
+	return e.Bytes(), nil
+}
+
+// Restore implements StateCodec.
+func (c *Combined) Restore(state []byte) error {
+	d := NewStateDecoder(state)
+	d.Tag(combinedTag)
+	h := d.U64()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	c.h = h
+	return nil
+}

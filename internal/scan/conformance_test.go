@@ -1,0 +1,24 @@
+package scan_test
+
+import (
+	"testing"
+
+	"repro/internal/scan"
+	"repro/internal/scan/kerneltest"
+)
+
+// TestChecksumConformance pins the portable-state contract for the
+// per-file checksum kernel: Snapshot/Restore round trips, Merge drains,
+// and folding across a process boundary is bit-identical.
+func TestChecksumConformance(t *testing.T) {
+	kerneltest.Conformance(t, scan.NewChecksum(), nil)
+}
+
+// TestCombinedConformance pins the resumable (ordered) contract for the
+// whole-corpus rolling checksum: pause/resume at any file boundary via
+// Snapshot→Restore matches the uninterrupted run. Combined is
+// order-sequential — resumable across a process boundary, not
+// distributable — so the ordered harness applies.
+func TestCombinedConformance(t *testing.T) {
+	kerneltest.ConformanceOrdered(t, scan.NewCombined(), nil)
+}

@@ -1,0 +1,227 @@
+// Package kerneltest is the conformance harness for scan kernels with
+// portable state: one entry point pins, for any kernel, every contract
+// the distributed scan engine leans on — Fork/Begin/Block/End/Merge
+// semantics, block-size independence, Snapshot→Restore bit-identity, the
+// Merge-drains rule, and the fold-across-a-process-boundary equivalence.
+// Each production kernel gets one conformance test in its own package;
+// a new kernel earns distribution by passing here, not by review.
+package kerneltest
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/scan"
+)
+
+// BlockSizes are the streaming windows conformance runs at: a
+// pathologically small window (every multi-byte token straddles a
+// boundary), the page-ish window, and one larger than any sample file
+// (the whole file in one Block call).
+var BlockSizes = []int{3, 4096, 1 << 20}
+
+// SampleContents returns a corpus exercising the usual hazards: an empty
+// file, boundary-straddling tokens, multi-byte runes, sentence
+// punctuation, and a file larger than the page-ish block size.
+func SampleContents() [][]byte {
+	return [][]byte{
+		[]byte(""),
+		[]byte("a"),
+		[]byte("The quick brown fox! Jumps over the lazy dog? Errors abound. the THE the"),
+		[]byte("line one\nline two\nline three with Unknownzz words\n"),
+		[]byte("naïve café résumé — “curly” quotes and …ellipsis… 日本語のテキスト"),
+		bytes.Repeat([]byte("the error rate is 0.07 per file. Sentences vary! Do they? Yes.\n"), 200),
+	}
+}
+
+func sources(contents [][]byte) []scan.Source {
+	srcs := make([]scan.Source, len(contents))
+	for i, c := range contents {
+		srcs[i] = scan.Source{Name: fmt.Sprintf("sample-%02d.txt", i), Size: int64(len(c))}
+	}
+	return srcs
+}
+
+// feed drives one file through the kernel's Begin/Block/End cycle at the
+// given block size.
+func feed(k scan.Kernel, src scan.Source, content []byte, blockSize int) {
+	k.Begin(src)
+	for off := 0; off < len(content); off += blockSize {
+		end := off + blockSize
+		if end > len(content) {
+			end = len(content)
+		}
+		k.Block(content[off:end])
+	}
+	k.End()
+}
+
+// accumulate scans files [lo, hi) the way the engine does — a private
+// fork per file, merged in input order into a root fork — and returns
+// the root.
+func accumulate(t *testing.T, proto scan.Kernel, contents [][]byte, lo, hi, blockSize int) scan.Kernel {
+	t.Helper()
+	srcs := sources(contents)
+	root := proto.Fork()
+	for i := lo; i < hi; i++ {
+		k := proto.Fork()
+		feed(k, srcs[i], contents[i], blockSize)
+		root.Merge(k)
+	}
+	return root
+}
+
+func snapshot(t *testing.T, k scan.Kernel) []byte {
+	t.Helper()
+	st, err := scan.SnapshotKernel(k)
+	if err != nil {
+		t.Fatalf("snapshot %T: %v", k, err)
+	}
+	return st
+}
+
+// Conformance pins the portable-state contract for a mergeable kernel
+// prototype over the sample contents (SampleContents when nil):
+//
+//   - block-size independence: the accumulated snapshot is bit-identical
+//     at every BlockSizes entry;
+//   - Snapshot→Restore→Snapshot is bit-identical;
+//   - Merge drains the other kernel back to empty;
+//   - process-boundary fold: scanning a prefix and a suffix separately,
+//     snapshotting the suffix kernel, restoring it into a fresh fork and
+//     merging equals scanning everything in one process.
+func Conformance(t *testing.T, proto scan.Kernel, contents [][]byte) {
+	t.Helper()
+	if _, ok := proto.(scan.StateCodec); !ok {
+		t.Fatalf("kernel %T does not implement scan.StateCodec", proto)
+	}
+	if contents == nil {
+		contents = SampleContents()
+	}
+
+	// Block-size independence, pinned on snapshot bytes.
+	want := snapshot(t, accumulate(t, proto, contents, 0, len(contents), BlockSizes[0]))
+	for _, bs := range BlockSizes[1:] {
+		got := snapshot(t, accumulate(t, proto, contents, 0, len(contents), bs))
+		if !bytes.Equal(got, want) {
+			t.Errorf("%T: snapshot at block size %d differs from block size %d", proto, bs, BlockSizes[0])
+		}
+	}
+
+	// Round trip: Restore must rebuild the exact accumulation.
+	restored := proto.Fork()
+	if err := scan.RestoreKernel(restored, want); err != nil {
+		t.Fatalf("%T: restore: %v", proto, err)
+	}
+	if got := snapshot(t, restored); !bytes.Equal(got, want) {
+		t.Errorf("%T: snapshot(restore(snapshot)) differs", proto)
+	}
+
+	// Restoring garbage must fail loudly, not silently corrupt.
+	if err := scan.RestoreKernel(proto.Fork(), []byte("not a snapshot")); err == nil {
+		t.Errorf("%T: restoring garbage succeeded", proto)
+	}
+	if len(want) > 1 {
+		if err := scan.RestoreKernel(proto.Fork(), want[:len(want)-1]); err == nil {
+			t.Errorf("%T: restoring a truncated snapshot succeeded", proto)
+		}
+	}
+
+	// Merge drains: after folding, the other kernel snapshots empty.
+	empty := snapshot(t, proto.Fork())
+	for _, bs := range BlockSizes {
+		root := proto.Fork()
+		other := accumulate(t, proto, contents, 0, len(contents), bs)
+		root.Merge(other)
+		if got := snapshot(t, other); !bytes.Equal(got, empty) {
+			t.Errorf("%T: merged-from kernel not drained at block size %d", proto, bs)
+		}
+		if got := snapshot(t, root); !bytes.Equal(got, want) {
+			t.Errorf("%T: merge of a whole accumulation differs from direct accumulation", proto)
+		}
+	}
+
+	// Process-boundary fold at every split point: prefix in "this
+	// process", suffix snapshotted, restored into a fork, merged.
+	for split := 0; split <= len(contents); split++ {
+		for _, bs := range BlockSizes {
+			local := accumulate(t, proto, contents, 0, split, bs)
+			remote := accumulate(t, proto, contents, split, len(contents), bs)
+			carried := snapshot(t, remote)
+			fork := proto.Fork()
+			if err := scan.RestoreKernel(fork, carried); err != nil {
+				t.Fatalf("%T: restore at split %d: %v", proto, split, err)
+			}
+			local.Merge(fork)
+			if got := snapshot(t, local); !bytes.Equal(got, want) {
+				t.Errorf("%T: boundary fold at split %d block size %d differs from in-process scan", proto, split, bs)
+			}
+		}
+	}
+}
+
+// ConformanceOrdered pins the portable-state contract for an
+// order-sequential kernel (scan.Combined): one instance fed every file
+// in order, with a Snapshot→Restore pause/resume spliced in at every
+// file boundary, must match the uninterrupted run at every block size.
+// Such kernels are resumable across a process boundary but not
+// distributable — Merge is out of contract and not exercised.
+func ConformanceOrdered(t *testing.T, proto scan.Kernel, contents [][]byte) {
+	t.Helper()
+	if _, ok := proto.(scan.StateCodec); !ok {
+		t.Fatalf("kernel %T does not implement scan.StateCodec", proto)
+	}
+	if contents == nil {
+		contents = SampleContents()
+	}
+	srcs := sources(contents)
+
+	run := func(blockSize, pause int) []byte {
+		k := proto.Fork()
+		for i := range contents {
+			if i == pause {
+				carried := snapshot(t, k)
+				k = proto.Fork()
+				if err := scan.RestoreKernel(k, carried); err != nil {
+					t.Fatalf("%T: resume at file %d: %v", proto, i, err)
+				}
+			}
+			feed(k, srcs[i], contents[i], blockSize)
+		}
+		return snapshot(t, k)
+	}
+
+	want := run(BlockSizes[0], -1)
+	for _, bs := range BlockSizes {
+		if got := run(bs, -1); !bytes.Equal(got, want) {
+			t.Errorf("%T: ordered snapshot at block size %d differs", proto, bs)
+		}
+		for pause := 0; pause <= len(contents); pause++ {
+			if got := run(bs, pause); !bytes.Equal(got, want) {
+				t.Errorf("%T: pause/resume at file %d block size %d differs", proto, pause, bs)
+			}
+		}
+	}
+
+	// Round-trip sanity on the final state too.
+	restored := proto.Fork()
+	if err := scan.RestoreKernel(restored, want); err != nil {
+		t.Fatalf("%T: restore: %v", proto, err)
+	}
+	if got := snapshot(t, restored); !bytes.Equal(got, want) {
+		t.Errorf("%T: snapshot(restore(snapshot)) differs", proto)
+	}
+}
+
+// GarbageStates returns payloads every Restore must reject: wrong tag,
+// empty, and high-entropy noise — used by packages wanting extra
+// negative cases beyond what Conformance already runs.
+func GarbageStates() [][]byte {
+	return [][]byte{
+		{},
+		[]byte{0xFF},
+		[]byte(strings.Repeat("\xde\xad\xbe\xef", 16)),
+	}
+}

@@ -91,10 +91,12 @@ type Source struct {
 
 // Kernel is a streaming computation fed one file at a time. The engine
 // drives the cycle Begin(file) → Block(bytes)* → End() on a forked
-// instance, then hands that instance — holding exactly one completed
-// file's accumulation — to the registered prototype's Merge, always in
-// input order. Begin doubles as the reset, so forked instances are
-// recycled across files.
+// instance — End folds the completed file into the instance's own
+// accumulation — then hands that instance to the registered prototype's
+// Merge, always in input order. Merge folds the other kernel's entire
+// accumulation (one file for an engine-forked instance, a whole shard's
+// worth for one restored via StateCodec) and drains it, so recycled
+// instances start empty.
 //
 // Block receives a window of the file's bytes, valid only for the
 // duration of the call; kernels MUST NOT retain it (not even until End).
@@ -115,10 +117,12 @@ type Kernel interface {
 	Begin(src Source)
 	// Block feeds the next window of the file's bytes.
 	Block(p []byte)
-	// End marks the file complete; the kernel finalises its per-file state.
+	// End marks the file complete; the kernel finalises the per-file
+	// state and folds it into its own accumulation.
 	End()
-	// Merge folds a completed single-file kernel (same concrete type) into
-	// the receiver. The engine guarantees input order.
+	// Merge folds the other kernel's (same concrete type) accumulated
+	// results into the receiver and drains the other. The engine
+	// guarantees input order and never calls Merge concurrently.
 	Merge(other Kernel)
 }
 

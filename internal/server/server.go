@@ -139,7 +139,7 @@ func New(ctx context.Context, srcs []scan.Source, cfg Config) (*Server, error) {
 			Checksum: fmt.Sprintf("%016x", sum.Sum),
 		})
 	}
-	s.fingerprint = fingerprintSums(ck.Sums())
+	s.fingerprint = scan.FingerprintSums(ck.Sums())
 	s.stats = st.Total()
 	s.lines = st.Lines()
 
@@ -177,14 +177,17 @@ func (s *Server) HardStop() { s.hardCancel() }
 
 // --- request plumbing ---------------------------------------------------
 
-// errorBody is the JSON error envelope.
-type errorBody struct {
+// ErrorBody is the JSON error envelope every service in the repository
+// answers failures with — the resident corpus server and the distributed
+// scan workers share it, so one client-side decoder reads both.
+type ErrorBody struct {
 	Error  string `json:"error"`
 	Stage  string `json:"stage,omitempty"`
 	Status int    `json:"status"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as an indented JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -192,9 +195,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the client is the only victim of a failed write
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// WriteError writes err as an ErrorBody, with the status errs.HTTPStatus
+// assigns its taxonomy category.
+func WriteError(w http.ResponseWriter, err error) {
 	status := errs.HTTPStatus(err)
-	writeJSON(w, status, errorBody{Error: err.Error(), Stage: errs.StageOf(err), Status: status})
+	WriteJSON(w, status, ErrorBody{Error: err.Error(), Stage: errs.StageOf(err), Status: status})
 }
 
 // timeoutOf resolves a request's deadline: the body's timeout_ms when
@@ -221,14 +226,14 @@ func (s *Server) runScan(w http.ResponseWriter, r *http.Request, endpoint string
 		case ErrOverloaded:
 			s.met.rejected.Add(1)
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), Status: http.StatusTooManyRequests})
+			WriteJSON(w, http.StatusTooManyRequests, ErrorBody{Error: err.Error(), Status: http.StatusTooManyRequests})
 		case ErrDraining:
 			s.met.drained.Add(1)
-			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Status: http.StatusServiceUnavailable})
+			WriteJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: err.Error(), Status: http.StatusServiceUnavailable})
 		default:
 			// The client vanished while queued; status is a formality.
 			ep.cancels.Add(1)
-			writeError(w, err)
+			WriteError(w, err)
 		}
 		return
 	}
@@ -270,10 +275,10 @@ func (s *Server) runScan(w http.ResponseWriter, r *http.Request, endpoint string
 		} else {
 			ep.errors.Add(1)
 		}
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	WriteJSON(w, http.StatusOK, res)
 }
 
 // decodeBody decodes a JSON request body into v. An empty body is allowed
@@ -316,11 +321,11 @@ type GrepResponse struct {
 func (s *Server) handleGrep(w http.ResponseWriter, r *http.Request) {
 	var req GrepRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
 	if len(req.Patterns) == 0 {
-		writeError(w, errs.Stage("grep", errs.Invalid("no patterns")))
+		WriteError(w, errs.Stage("grep", errs.Invalid("no patterns")))
 		return
 	}
 	var ms *textproc.MultiSearcher
@@ -331,7 +336,7 @@ func (s *Server) handleGrep(w http.ResponseWriter, r *http.Request) {
 		ms, err = textproc.NewMultiSearcher(req.Patterns)
 	}
 	if err != nil {
-		writeError(w, errs.Stage("grep", errs.Invalid("%v", err)))
+		WriteError(w, errs.Stage("grep", errs.Invalid("%v", err)))
 		return
 	}
 	s.runScan(w, r, "grep", s.timeoutOf(r, req.TimeoutMS), func(ctx context.Context) (any, error) {
@@ -386,7 +391,7 @@ type MeasureResponse struct {
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	var req MeasureRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
 	s.runScan(w, r, "measure", s.timeoutOf(r, req.TimeoutMS), func(ctx context.Context) (any, error) {
@@ -447,46 +452,10 @@ type VerifyResponse struct {
 	ElapsedMS   float64 `json:"elapsed_ms"`
 }
 
-// fingerprintSums folds every file's (name, size, checksum) into one
-// FNV-64a corpus identity, in input order. Computable from the parallel
-// per-file sums, unlike the order-sequential scan.Combined fold.
-func fingerprintSums(sums []scan.FileSum) uint64 {
-	h := uint64(fnvOffset64)
-	var buf [16]byte
-	for _, s := range sums {
-		h = fnvFoldString(h, s.Name)
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(s.Size >> (8 * i))
-			buf[8+i] = byte(s.Sum >> (8 * i))
-		}
-		h = fnvFoldBytes(h, buf[:])
-	}
-	return h
-}
-
-const (
-	fnvOffset64 = 0xcbf29ce484222325
-	fnvPrime64  = 0x100000001b3
-)
-
-func fnvFoldBytes(h uint64, p []byte) uint64 {
-	for _, b := range p {
-		h = (h ^ uint64(b)) * fnvPrime64
-	}
-	return h
-}
-
-func fnvFoldString(h uint64, s string) uint64 {
-	for i := 0; i < len(s); i++ {
-		h = (h ^ uint64(s[i])) * fnvPrime64
-	}
-	return h
-}
-
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	var req VerifyRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, err)
+		WriteError(w, err)
 		return
 	}
 	s.runScan(w, r, "verify", s.timeoutOf(r, req.TimeoutMS), func(ctx context.Context) (any, error) {
@@ -506,7 +475,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 					errs.Corrupt("checksum %s, manifest has %s", got, want.Checksum))
 			}
 		}
-		if fp := fingerprintSums(sums); fp != s.fingerprint {
+		if fp := scan.FingerprintSums(sums); fp != s.fingerprint {
 			return nil, errs.Stage("verify", errs.Corrupt("fingerprint %016x, startup scan had %016x", fp, s.fingerprint))
 		}
 		return &VerifyResponse{
@@ -529,7 +498,7 @@ type ManifestResponse struct {
 }
 
 func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, &ManifestResponse{
+	WriteJSON(w, http.StatusOK, &ManifestResponse{
 		Files:       s.files,
 		TotalBytes:  s.bytes,
 		Shards:      s.shards,
@@ -551,7 +520,7 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, &StatsResponse{
+	WriteJSON(w, http.StatusOK, &StatsResponse{
 		Files:        s.files,
 		Bytes:        s.bytes,
 		Tokens:       s.stats.Tokens,
@@ -585,9 +554,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Status = "draining"
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, resp)
+	WriteJSON(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.met.Snapshot())
+	WriteJSON(w, http.StatusOK, s.met.Snapshot())
 }

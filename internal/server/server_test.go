@@ -267,7 +267,7 @@ func TestStatusMapping(t *testing.T) {
 	if resp.StatusCode != 400 {
 		t.Errorf("no patterns: status %d: %s", resp.StatusCode, data)
 	}
-	var eb errorBody
+	var eb ErrorBody
 	if err := json.Unmarshal(data, &eb); err != nil || eb.Stage != "grep" || eb.Status != 400 {
 		t.Errorf("no-patterns envelope = %+v (err %v), want stage grep status 400", eb, err)
 	}

@@ -1,0 +1,36 @@
+package textproc_test
+
+import (
+	"testing"
+
+	"repro/internal/scan/kerneltest"
+	"repro/internal/textproc"
+)
+
+// TestStatsKernelConformance pins the portable-state contract for the
+// text-statistics kernel.
+func TestStatsKernelConformance(t *testing.T) {
+	kerneltest.Conformance(t, textproc.NewStatsKernel(), nil)
+}
+
+// TestMatchKernelConformance pins the portable-state contract for the
+// grep kernel, in both exact and case-folded configurations — the folded
+// automaton has a different byte-class table, so its boundary-straddling
+// behaviour is pinned separately.
+func TestMatchKernelConformance(t *testing.T) {
+	patterns := []string{"the", "error", "Unknownzz"}
+	t.Run("exact", func(t *testing.T) {
+		ms, err := textproc.NewMultiSearcher(patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kerneltest.Conformance(t, textproc.NewMatchKernel(ms), nil)
+	})
+	t.Run("folded", func(t *testing.T) {
+		ms, err := textproc.NewFoldedMultiSearcher(patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kerneltest.Conformance(t, textproc.NewMatchKernel(ms), nil)
+	})
+}

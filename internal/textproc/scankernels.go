@@ -4,6 +4,7 @@ import (
 	"unicode"
 	"unicode/utf8"
 
+	"repro/internal/errs"
 	"repro/internal/scan"
 )
 
@@ -192,7 +193,6 @@ type FileStats struct {
 type StatsKernel struct {
 	an   StreamAnalyzer
 	name string
-	cur  FileStats
 
 	files []FileStats
 	total TextStats
@@ -214,25 +214,37 @@ func (k *StatsKernel) Begin(src scan.Source) {
 // Block implements scan.Kernel.
 func (k *StatsKernel) Block(p []byte) { k.an.Block(p) }
 
-// End implements scan.Kernel.
+// End implements scan.Kernel: the completed file is appended to the
+// kernel's own accumulation and folded into its totals.
 func (k *StatsKernel) End() {
 	st, lines := k.an.Finish()
-	k.cur = FileStats{Name: k.name, Stats: st, Lines: lines}
-}
-
-// Merge implements scan.Kernel: the completed file is appended in input
-// order and folded into the corpus totals.
-func (k *StatsKernel) Merge(other scan.Kernel) {
-	o := other.(*StatsKernel)
-	k.files = append(k.files, o.cur)
-	st := o.cur.Stats
+	k.files = append(k.files, FileStats{Name: k.name, Stats: st, Lines: lines})
 	k.total.Tokens += st.Tokens
 	k.total.Words += st.Words
 	k.total.Sentences += st.Sentences
 	if st.MaxSentence > k.total.MaxSentence {
 		k.total.MaxSentence = st.MaxSentence
 	}
-	k.lines += o.cur.Lines
+	k.lines += lines
+}
+
+// Merge implements scan.Kernel: the other kernel's accumulated files are
+// appended in input order, its totals folded in, and its accumulation
+// drained. The integer folds are associative, so folding a shard-sized
+// accumulation is bit-identical to folding its files one at a time.
+func (k *StatsKernel) Merge(other scan.Kernel) {
+	o := other.(*StatsKernel)
+	k.files = append(k.files, o.files...)
+	k.total.Tokens += o.total.Tokens
+	k.total.Words += o.total.Words
+	k.total.Sentences += o.total.Sentences
+	if o.total.MaxSentence > k.total.MaxSentence {
+		k.total.MaxSentence = o.total.MaxSentence
+	}
+	k.lines += o.lines
+	o.files = o.files[:0]
+	o.total = TextStats{}
+	o.lines = 0
 }
 
 // Files returns per-file stats in input order; the slice is owned by the
@@ -251,6 +263,60 @@ func (k *StatsKernel) Total() TextStats {
 
 // Lines returns the corpus-wide newline count.
 func (k *StatsKernel) Lines() int64 { return k.lines }
+
+const statsKernelTag = 'S'
+
+func encodeTextStats(e *scan.StateEncoder, st TextStats) {
+	e.Int(st.Tokens)
+	e.Int(st.Words)
+	e.Int(st.Sentences)
+	e.F64(st.MeanSentence)
+	e.Int(st.MaxSentence)
+}
+
+func decodeTextStats(d *scan.StateDecoder) TextStats {
+	return TextStats{
+		Tokens:       d.Int(),
+		Words:        d.Int(),
+		Sentences:    d.Int(),
+		MeanSentence: d.F64(),
+		MaxSentence:  d.Int(),
+	}
+}
+
+// Snapshot implements scan.StateCodec: the accumulated per-file stats,
+// totals and line count.
+func (k *StatsKernel) Snapshot() ([]byte, error) {
+	var e scan.StateEncoder
+	e.Tag(statsKernelTag)
+	e.Int(len(k.files))
+	for _, f := range k.files {
+		e.Str(f.Name)
+		encodeTextStats(&e, f.Stats)
+		e.I64(f.Lines)
+	}
+	encodeTextStats(&e, k.total)
+	e.I64(k.lines)
+	return e.Bytes(), nil
+}
+
+// Restore implements scan.StateCodec.
+func (k *StatsKernel) Restore(state []byte) error {
+	d := scan.NewStateDecoder(state)
+	d.Tag(statsKernelTag)
+	n := d.Len()
+	files := make([]FileStats, 0, n)
+	for i := 0; i < n; i++ {
+		files = append(files, FileStats{Name: d.Str(), Stats: decodeTextStats(d), Lines: d.I64()})
+	}
+	total := decodeTextStats(d)
+	lines := d.I64()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	k.files, k.total, k.lines = files, total, lines
+	return nil
+}
 
 // FilePatternCount is one scanned file's per-pattern match counts.
 type FilePatternCount struct {
@@ -273,9 +339,11 @@ type MatchKernel struct {
 
 	files  []FilePatternCount
 	totals []int64
-	// arena carves per-file Counts rows out of shared slabs: Merge runs
-	// strictly serially on the prototype, and one allocation per
-	// DefaultArenaSize counts replaces one exact-size copy per file.
+	// arena carves per-file Counts rows out of shared slabs: End runs
+	// inside a single worker's private kernel state, and one allocation
+	// per DefaultArenaSize counts replaces one exact-size copy per file.
+	// Merge moves the rows without re-copying; slabs are never reused, so
+	// rows stay valid after their arena's kernel is recycled.
 	arena scan.Int64Arena
 }
 
@@ -289,7 +357,9 @@ func (k *MatchKernel) Searcher() *MultiSearcher { return k.ms }
 
 // Fork implements scan.Kernel: forks share the automaton (read-only) but
 // not counts.
-func (k *MatchKernel) Fork() scan.Kernel { return &MatchKernel{ms: k.ms} }
+func (k *MatchKernel) Fork() scan.Kernel {
+	return &MatchKernel{ms: k.ms, totals: make([]int64, k.ms.NumPatterns())}
+}
 
 // Begin implements scan.Kernel.
 func (k *MatchKernel) Begin(src scan.Source) {
@@ -308,24 +378,35 @@ func (k *MatchKernel) Begin(src scan.Source) {
 // Block implements scan.Kernel.
 func (k *MatchKernel) Block(p []byte) { k.st = k.ms.Feed(k.st, p, k.counts) }
 
-// End implements scan.Kernel.
-func (k *MatchKernel) End() {}
-
-// Merge implements scan.Kernel: the forked instance's counts are copied
-// into the prototype's arena (its scratch slice is recycled with the
-// kernel set) and folded into the totals.
-func (k *MatchKernel) Merge(other scan.Kernel) {
-	o := other.(*MatchKernel)
+// End implements scan.Kernel: the completed file's counts are copied into
+// the kernel's own arena (the scratch slice is recycled across files) and
+// folded into its totals.
+func (k *MatchKernel) End() {
 	fc := FilePatternCount{
-		Name:   o.name,
-		Bytes:  o.bytes,
-		Counts: k.arena.Copy(o.counts),
+		Name:   k.name,
+		Bytes:  k.bytes,
+		Counts: k.arena.Copy(k.counts),
 	}
-	for i, c := range o.counts {
+	for i, c := range k.counts {
 		fc.Matches += c
 		k.totals[i] += c
 	}
 	k.files = append(k.files, fc)
+}
+
+// Merge implements scan.Kernel: the other kernel's accumulated rows are
+// moved (not re-copied — arena slabs are never reused, so the rows stay
+// valid), its totals folded in, and its accumulation drained.
+func (k *MatchKernel) Merge(other scan.Kernel) {
+	o := other.(*MatchKernel)
+	k.files = append(k.files, o.files...)
+	for i, c := range o.totals {
+		k.totals[i] += c
+	}
+	o.files = o.files[:0]
+	for i := range o.totals {
+		o.totals[i] = 0
+	}
 }
 
 // Files returns per-file counts in input order; the slice is owned by the
@@ -342,4 +423,63 @@ func (k *MatchKernel) TotalMatches() int64 {
 		t += c
 	}
 	return t
+}
+
+const matchKernelTag = 'M'
+
+// Snapshot implements scan.StateCodec: the accumulated per-file rows and
+// totals. The pattern set itself is configuration, not state — both sides
+// of a transfer must build their kernels over the same patterns, and
+// Restore rejects a payload whose pattern count disagrees.
+func (k *MatchKernel) Snapshot() ([]byte, error) {
+	var e scan.StateEncoder
+	e.Tag(matchKernelTag)
+	np := k.ms.NumPatterns()
+	e.Int(np)
+	e.Int(len(k.files))
+	for _, f := range k.files {
+		e.Str(f.Name)
+		e.I64(f.Bytes)
+		for _, c := range f.Counts {
+			e.I64(c)
+		}
+		// Counts is nil for a zero-pattern searcher row; Matches is
+		// derivable, so neither needs encoding beyond the counts above.
+	}
+	for _, c := range k.totals {
+		e.I64(c)
+	}
+	return e.Bytes(), nil
+}
+
+// Restore implements scan.StateCodec.
+func (k *MatchKernel) Restore(state []byte) error {
+	d := scan.NewStateDecoder(state)
+	d.Tag(matchKernelTag)
+	np := d.Int()
+	if d.Err() == nil && np != k.ms.NumPatterns() {
+		return errs.Invalid("textproc: match kernel state has %d patterns, searcher has %d", np, k.ms.NumPatterns())
+	}
+	n := d.Len()
+	files := make([]FilePatternCount, 0, n)
+	var arena scan.Int64Arena
+	row := make([]int64, np)
+	for i := 0; i < n; i++ {
+		fc := FilePatternCount{Name: d.Str(), Bytes: d.I64()}
+		for j := 0; j < np; j++ {
+			row[j] = d.I64()
+			fc.Matches += row[j]
+		}
+		fc.Counts = arena.Copy(row)
+		files = append(files, fc)
+	}
+	totals := make([]int64, np)
+	for i := range totals {
+		totals[i] = d.I64()
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	k.files, k.totals = files, totals
+	return nil
 }

@@ -31,7 +31,6 @@ type ComplexityKernel struct {
 	unknown int
 
 	name string
-	cur  FileComplexity
 
 	files []FileComplexity
 }
@@ -62,24 +61,59 @@ func (k *ComplexityKernel) Begin(src scan.Source) {
 // Block implements scan.Kernel.
 func (k *ComplexityKernel) Block(p []byte) { k.an.Block(p) }
 
-// End implements scan.Kernel.
+// End implements scan.Kernel: the completed file is appended to the
+// kernel's own accumulation.
 func (k *ComplexityKernel) End() {
 	st, _ := k.an.Finish()
 	oov := 0.0
 	if st.Words > 0 {
 		oov = float64(k.unknown) / float64(st.Words)
 	}
-	k.cur = FileComplexity{Name: k.name, Complexity: ComplexityFromStats(st, oov)}
+	k.files = append(k.files, FileComplexity{Name: k.name, Complexity: ComplexityFromStats(st, oov)})
 }
 
-// Merge implements scan.Kernel.
+// Merge implements scan.Kernel: the other kernel's accumulated files are
+// appended in input order and its accumulation drained.
 func (k *ComplexityKernel) Merge(other scan.Kernel) {
-	k.files = append(k.files, other.(*ComplexityKernel).cur)
+	o := other.(*ComplexityKernel)
+	k.files = append(k.files, o.files...)
+	o.files = o.files[:0]
 }
 
 // Files returns per-file complexities in input order; the slice is owned
 // by the kernel.
 func (k *ComplexityKernel) Files() []FileComplexity { return k.files }
+
+const complexityKernelTag = 'X'
+
+// Snapshot implements scan.StateCodec: the accumulated per-file
+// complexities. The tagger's lexicon is configuration, not state.
+func (k *ComplexityKernel) Snapshot() ([]byte, error) {
+	var e scan.StateEncoder
+	e.Tag(complexityKernelTag)
+	e.Int(len(k.files))
+	for _, f := range k.files {
+		e.Str(f.Name)
+		e.F64(f.Complexity)
+	}
+	return e.Bytes(), nil
+}
+
+// Restore implements scan.StateCodec.
+func (k *ComplexityKernel) Restore(state []byte) error {
+	d := scan.NewStateDecoder(state)
+	d.Tag(complexityKernelTag)
+	n := d.Len()
+	files := make([]FileComplexity, 0, n)
+	for i := 0; i < n; i++ {
+		files = append(files, FileComplexity{Name: d.Str(), Complexity: d.F64()})
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	k.files = files
+	return nil
+}
 
 // Map returns the complexities keyed by file name — the shape
 // core.Pipeline's profiled runs consume.

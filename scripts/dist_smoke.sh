@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the distributed shard scan: generate a small
+# corpus, reshape it into pack shards, measure it three ways — one-shot
+# single-node, in-process -workers 2, and two cmd/worker daemons over
+# HTTP — and require the measurement fingerprint to be bit-identical
+# across all three. Then SIGTERM the daemons and require a graceful
+# drain with exit code 130 (the shared signal contract).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/corpusgen" ./cmd/corpusgen
+go build -o "$work/reshape" ./cmd/reshape
+go build -o "$work/pipeline" ./cmd/pipeline
+go build -o "$work/worker" ./cmd/worker
+
+"$work/corpusgen" -spec text -scale 0.0002 -out "$work/corpus" >/dev/null
+"$work/reshape" -in "$work/corpus" -pack -out "$work/packs" -shard 65536 >/dev/null
+
+measure_flags="-packs $work/packs -measure -measure-only -grep the,and"
+fp() { sed -n 's/^measurement fingerprint: \([0-9a-f]*\).*/\1/p' "$1" | head -n 1; }
+
+# 1. Single-node baseline.
+"$work/pipeline" $measure_flags >"$work/local.log"
+base=$(fp "$work/local.log")
+if [ -z "$base" ]; then
+    echo "dist_smoke: no fingerprint from the single-node run" >&2
+    cat "$work/local.log" >&2
+    exit 1
+fi
+echo "dist_smoke: single-node fingerprint $base"
+
+# 2. In-process coordinator–worker engine.
+"$work/pipeline" $measure_flags -workers 2 >"$work/inproc.log"
+inproc=$(fp "$work/inproc.log")
+if [ "$inproc" != "$base" ]; then
+    echo "dist_smoke: in-process -workers 2 fingerprint $inproc != $base" >&2
+    cat "$work/inproc.log" >&2
+    exit 1
+fi
+echo "dist_smoke: -workers 2 bit-identical"
+
+# 3. Two worker daemons over HTTP, each deriving the plan from its own
+#    view of the same shards; the fingerprint preflight pins agreement.
+for i in 0 1; do
+    "$work/worker" -packs "$work/packs" -addr 127.0.0.1:0 -name "w$i" >"$work/w$i.log" 2>&1 &
+    pids="$pids $!"
+done
+addrs=""
+for i in 0 1; do
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's|.*http://\([0-9.:]*\).*|\1|p' "$work/w$i.log" | head -n 1)
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "dist_smoke: worker $i never reported its address" >&2
+        cat "$work/w$i.log" >&2
+        exit 1
+    fi
+    addrs="$addrs,$addr"
+done
+addrs=${addrs#,}
+echo "dist_smoke: worker daemons at $addrs"
+
+"$work/pipeline" $measure_flags -worker-addrs "$addrs" >"$work/http.log"
+http=$(fp "$work/http.log")
+if [ "$http" != "$base" ]; then
+    echo "dist_smoke: HTTP fleet fingerprint $http != $base" >&2
+    cat "$work/http.log" >&2
+    exit 1
+fi
+if ! grep -q "worker http" "$work/http.log"; then
+    echo "dist_smoke: no per-worker tallies in the coordinator output" >&2
+    cat "$work/http.log" >&2
+    exit 1
+fi
+echo "dist_smoke: HTTP fleet bit-identical"
+
+# 4. Graceful shutdown: SIGTERM each daemon, require drain + exit 130.
+for p in $pids; do kill -TERM "$p"; done
+for p in $pids; do
+    rc=0
+    wait "$p" || rc=$?
+    if [ "$rc" -ne 130 ]; then
+        echo "dist_smoke: worker exited $rc after SIGTERM, want 130" >&2
+        cat "$work"/w*.log >&2
+        exit 1
+    fi
+done
+pids=""
+for i in 0 1; do
+    if ! grep -q "drained" "$work/w$i.log"; then
+        echo "dist_smoke: worker $i has no drain line" >&2
+        cat "$work/w$i.log" >&2
+        exit 1
+    fi
+done
+echo "dist_smoke: OK (3-way bit-identical, graceful drain, exit 130)"

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-nommap test-scandebug verify verify-quick bench bench-smoke bench-pack serve-smoke dist-smoke clean
+.PHONY: all build test test-nommap test-scandebug verify verify-quick bench bench-smoke bench-pack serve-smoke dist-smoke chaos-smoke clean
 
 all: build
 
@@ -67,6 +67,15 @@ serve-smoke:
 # a graceful SIGTERM drain with exit code 130.
 dist-smoke:
 	./scripts/dist_smoke.sh
+
+# chaos-smoke runs the resilience layer under a seeded, replayable fault
+# schedule with race-enabled binaries: bit-identical fingerprints under
+# injected read faults/kills/latency at 1/2/4 workers, identical replay
+# of the schedule, an HTTP fleet surviving a dead peer, crash → resume
+# from the checkpoint journal, and deterministic degraded results from a
+# corrupted shard under -allow-partial.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 clean:
 	$(GO) clean ./...

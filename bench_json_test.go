@@ -23,10 +23,18 @@ type benchServe struct {
 	MeasureP99MS float64 `json:"serve_measure_p99_ms"`
 }
 
+type benchChaos struct {
+	FaultSpec string `json:"fault_spec"`
+	Workers   int    `json:"workers"`
+	Injected  int    `json:"injected_faults"`
+	Retries   int    `json:"retries"`
+}
+
 type benchDoc struct {
 	Results []benchResult      `json:"results"`
 	Ratios  map[string]float64 `json:"ratios"`
 	Serve   benchServe         `json:"serve"`
+	Chaos   benchChaos         `json:"chaos"`
 }
 
 func loadBenchDoc(t *testing.T) *benchDoc {
@@ -153,5 +161,38 @@ func TestBenchJSONDistAcceptance(t *testing.T) {
 	}
 	if doc.Ratios["dist_scan_vs_local"] != doc.Ratios["dist_scan_vs_local_2w"] {
 		t.Error("dist_scan_vs_local headline is not the 2-worker ratio")
+	}
+}
+
+// TestBenchJSONChaosAcceptance pins the resilience section: the faulted
+// distributed scan ran (bit-identity to the clean run is asserted inside
+// cmd/bench itself — a diverged measurement aborts the regeneration),
+// the seeded schedule actually injected faults, and absorbing them costs
+// a small constant factor over the clean scan (generous bound — retry
+// backoff is jittered and machine load moves the number; the point is
+// catching an accidental order-of-magnitude regression in the retry or
+// re-dispatch path, not pinning a machine-dependent figure).
+func TestBenchJSONChaosAcceptance(t *testing.T) {
+	doc := loadBenchDoc(t)
+
+	doc.result(t, "DistScanFaulted2Workers")
+	ratio, ok := doc.Ratios["scan_with_faults_vs_clean"]
+	if !ok {
+		t.Fatal("BENCH.json ratios missing scan_with_faults_vs_clean")
+	}
+	if ratio <= 0 || ratio > 25 {
+		t.Fatalf("scan_with_faults_vs_clean = %.2f, want (0, 25]", ratio)
+	}
+	if doc.Chaos.FaultSpec == "" {
+		t.Error("chaos section missing its fault spec")
+	}
+	if doc.Chaos.Workers < 2 {
+		t.Errorf("chaos section ran %d workers, want >= 2", doc.Chaos.Workers)
+	}
+	if doc.Chaos.Injected <= 0 {
+		t.Errorf("chaos section injected %d faults, want > 0 (a chaos run that injects nothing measures nothing)", doc.Chaos.Injected)
+	}
+	if doc.Chaos.Retries <= 0 {
+		t.Errorf("chaos section recorded %d retries, want > 0", doc.Chaos.Retries)
 	}
 }

@@ -35,8 +35,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/dist"
+	"repro/internal/fault"
 	"repro/internal/packstore"
 	"repro/internal/par"
+	"repro/internal/retry"
 	"repro/internal/scan"
 	"repro/internal/server"
 	"repro/internal/stats"
@@ -80,12 +82,24 @@ type ServeStats struct {
 	OneshotGrepMeanMS float64 `json:"oneshot_grep_mean_ms"`
 }
 
+// ChaosStats records the resilience section: the same distributed scan
+// run under a seeded fault schedule, with the injected-fault and retry
+// tallies proving the run actually weathered something (a chaos
+// benchmark that injects nothing measures nothing).
+type ChaosStats struct {
+	FaultSpec string `json:"fault_spec"`
+	Workers   int    `json:"workers"`
+	Injected  int    `json:"injected_faults"`
+	Retries   int    `json:"retries"`
+}
+
 // Output is the BENCH.json schema.
 type Output struct {
 	Results       []Result           `json:"results"`
 	Ratios        map[string]float64 `json:"ratios"`
 	CancelLatency CancelLatency      `json:"cancel_latency"`
 	Serve         ServeStats         `json:"serve"`
+	Chaos         ChaosStats         `json:"chaos"`
 }
 
 func benchItems(n int) []binpack.Item {
@@ -596,6 +610,86 @@ func main() {
 		}))
 	}
 
+	// Resilience under faults: the identical distributed scan with a
+	// seeded fault schedule injected into the workers' reads and task
+	// execution. Retries must absorb every fault — the measurement stays
+	// bit-identical to the clean run, checked outside the timed loop —
+	// and scan_with_faults_vs_clean records what that absorption costs
+	// end to end (fault sites, re-reads, backoff sleeps included),
+	// against the clean 2-worker run as the baseline.
+	const chaosSpec = "seed=7,readerr=0.01,kill=0.02,latencyrate=0.02,latency=200us"
+	chaosCfg, err := fault.ParseSpec(chaosSpec)
+	if err != nil {
+		fatal(err)
+	}
+	chaosInj, err := fault.New(chaosCfg)
+	if err != nil {
+		fatal(err)
+	}
+	chaosFS, err := chaosInj.WrapFS(distFS)
+	if err != nil {
+		fatal(err)
+	}
+	chaosPlan := scan.NewPlan(vfs.Sources(chaosFS.List()), scan.PlanOptions{})
+	if chaosPlan.Fingerprint() != distPlan.Fingerprint() {
+		fatal(fmt.Errorf("bench: fault wrapping changed the plan fingerprint: %016x != %016x",
+			chaosPlan.Fingerprint(), distPlan.Fingerprint()))
+	}
+	const chaosWorkers = 2
+	chaosFleet := make([]dist.Worker, chaosWorkers)
+	for i := range chaosFleet {
+		name := fmt.Sprintf("w%d", i)
+		l, err := dist.NewLocal(name, chaosPlan, distSpec)
+		if err != nil {
+			fatal(err)
+		}
+		l.SetFault(chaosInj.TaskKill(name))
+		chaosFleet[i] = l
+	}
+	// Tight backoff keeps the benchmark honest about engine cost rather
+	// than measuring sleeps; unlimited budget and generous attempts keep
+	// an unlucky schedule from aborting a timing run.
+	chaosOpts := dist.Options{
+		MaxAttempts: 10,
+		RetryBudget: -1,
+		Retry:       retry.Policy{BaseDelay: 200 * time.Microsecond, MaxDelay: 2 * time.Millisecond},
+	}
+	cleanM, err := core.MeasurePlanCtx(ctx, distPlan, distSpec.MeasureOptions())
+	if err != nil {
+		fatal(err)
+	}
+	var chaosRetries int
+	faultedM, chaosRep, err := dist.Measure(ctx, chaosPlan, distSpec, chaosFleet, chaosOpts)
+	if err != nil {
+		fatal(err)
+	}
+	if faultedM.Fingerprint() != cleanM.Fingerprint() {
+		fatal(fmt.Errorf("bench: faulted scan diverged: %016x != clean %016x",
+			faultedM.Fingerprint(), cleanM.Fingerprint()))
+	}
+	chaosRetries = chaosRep.Retries
+	add(run(fmt.Sprintf("DistScanFaulted%dWorkers", chaosWorkers), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, rep, err := dist.Measure(ctx, chaosPlan, distSpec, chaosFleet, chaosOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.Fingerprint() != cleanM.Fingerprint() {
+				b.Fatalf("faulted scan diverged: %016x != clean %016x",
+					m.Fingerprint(), cleanM.Fingerprint())
+			}
+			chaosRetries += rep.Retries
+		}
+	}))
+	o.Chaos = ChaosStats{
+		FaultSpec: chaosSpec,
+		Workers:   chaosWorkers,
+		Injected:  chaosInj.Fired(),
+		Retries:   chaosRetries,
+	}
+	fmt.Printf("%-32s %s\n", "DistScanFaulted", chaosInj.Summary())
+
 	// Cancellation responsiveness: how long a mid-flight 10k-task fan-out
 	// takes to return once cancelled. Not a ratio — an absolute latency the
 	// interactive commands (Ctrl-C) are held to.
@@ -644,6 +738,13 @@ func main() {
 			byName[fmt.Sprintf("DistScan%dWorkers", n)].NsPerOp / byName["DistScanLocal"].NsPerOp
 	}
 	o.Ratios["dist_scan_vs_local"] = o.Ratios["dist_scan_vs_local_2w"]
+	// The resilience acceptance: the same 2-worker distributed scan under
+	// the seeded fault schedule vs clean. The measurement is bit-identical
+	// either way (asserted above); the ratio is what absorbing the faults
+	// — re-reads, re-dispatches, jittered backoff — costs.
+	o.Ratios["scan_with_faults_vs_clean"] =
+		byName[fmt.Sprintf("DistScanFaulted%dWorkers", chaosWorkers)].NsPerOp /
+			byName[fmt.Sprintf("DistScan%dWorkers", chaosWorkers)].NsPerOp
 
 	data, err := json.MarshalIndent(o, "", "  ")
 	if err != nil {
@@ -653,12 +754,13 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear, pack access 2048/64 %.2fx, fused scan %.2fx vs multipass, %.2fx of raw read, multisearch %.2fx vs 8 searchers, serve %.2fx of oneshot, dist %.2f/%.2f/%.2fx of local at 1/2/4 workers)\n",
+	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear, pack access 2048/64 %.2fx, fused scan %.2fx vs multipass, %.2fx of raw read, multisearch %.2fx vs 8 searchers, serve %.2fx of oneshot, dist %.2f/%.2f/%.2fx of local at 1/2/4 workers, faulted scan %.2fx of clean)\n",
 		*out, o.Ratios["firstfit_speedup_vs_linear"], o.Ratios["subsetsum_speedup_vs_linear"],
 		o.Ratios["pack_random_access_2048_over_64"], o.Ratios["fused_scan_speedup_vs_multipass"],
 		o.Ratios["fused_scan_vs_raw_read"], o.Ratios["multisearch_speedup_vs_8_searchers"],
 		o.Ratios["serve_vs_oneshot"], o.Ratios["dist_scan_vs_local_1w"],
-		o.Ratios["dist_scan_vs_local_2w"], o.Ratios["dist_scan_vs_local_4w"])
+		o.Ratios["dist_scan_vs_local_2w"], o.Ratios["dist_scan_vs_local_4w"],
+		o.Ratios["scan_with_faults_vs_clean"])
 	if *snapshot {
 		snapPath := filepath.Join(filepath.Dir(*out),
 			fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102")))

@@ -30,6 +30,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -37,6 +38,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/retry"
 	"repro/internal/scan"
 	"repro/internal/vfs"
 	"repro/internal/workload"
@@ -62,8 +65,28 @@ func main() {
 		wAddrs   = flag.String("worker-addrs", "", "distribute the measurement scan to remote worker daemons: comma-separated host:port list")
 		onlyM    = flag.Bool("measure-only", false, "stop after the measurement scan (skip probing/planning/execution)")
 		taskB    = flag.Int64("task-bytes", 0, "task chunking cap for shard-less sources (0 = default; must match remote workers)")
+
+		faultSpec  = flag.String("fault", "", "seeded fault-injection spec, comma-separated key=value (e.g. seed=7,readerr=0.05,kill=0.1); see internal/fault")
+		verifyR    = flag.Bool("verify-reads", false, "verify pack member checksums on every read (requires -packs); on-disk corruption fails loudly instead of skewing results")
+		checkpoint = flag.String("checkpoint", "", "journal completed measurement tasks to this file (crash-safe checkpoint)")
+		resume     = flag.Bool("resume", false, "resume from an existing -checkpoint journal, skipping tasks it already holds")
+		allowPart  = flag.Bool("allow-partial", false, "degrade instead of failing when a task's data is corrupt: skip it and print a degraded-results manifest")
+		maxAtt     = flag.Int("max-attempts", 0, "dispatch attempts per measurement task before the run fails (0 = default)")
 	)
 	flag.Parse()
+	if *verifyR && *packs == "" {
+		fmt.Fprintln(os.Stderr, "pipeline: -verify-reads needs a packed corpus (-packs)")
+		os.Exit(2)
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "pipeline: -resume needs -checkpoint")
+		os.Exit(2)
+	}
+	// Checkpointing, resume and degradation live in the coordinator; give
+	// them a coordinator even when no explicit fleet was requested.
+	if (*checkpoint != "" || *allowPart) && *workers == 0 && *wAddrs == "" {
+		*workers = 1
+	}
 
 	var app workload.App
 	switch *appName {
@@ -91,11 +114,18 @@ func main() {
 	var fs *vfs.FS
 	var err error
 	if *packs != "" {
-		// Packed corpora are memory-mapped: scans take the zero-copy path,
-		// reading borrowed windows of each shard mapping. Keep the mappings
-		// alive for the run.
 		var closer interface{ Close() error }
-		fs, closer, err = vfs.ImportPackMappedCtx(ctx, strings.Split(*packs, ",")...)
+		if *verifyR {
+			// Verified reads hash every member against the pack index as it
+			// streams; that rules out the zero-copy raw windows, so this
+			// import stays on plain section readers.
+			fs, closer, err = vfs.ImportPackVerifiedCtx(ctx, strings.Split(*packs, ",")...)
+		} else {
+			// Packed corpora are memory-mapped: scans take the zero-copy
+			// path, reading borrowed windows of each shard mapping. Keep the
+			// mappings alive for the run.
+			fs, closer, err = vfs.ImportPackMappedCtx(ctx, strings.Split(*packs, ",")...)
+		}
 		if err == nil {
 			defer closer.Close()
 		}
@@ -125,6 +155,26 @@ func main() {
 	}
 	fmt.Printf("corpus: %d files, %d bytes\n", fs.Len(), fs.TotalSize())
 
+	// Seeded fault injection wraps the corpus before the plan is built;
+	// WrapFS preserves names, sizes and locality so the plan fingerprint —
+	// and therefore the measurement — is identical to a clean run.
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		cfg, ferr := fault.ParseSpec(*faultSpec)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if cfg.Enabled() {
+			if inj, err = fault.New(cfg); err != nil {
+				fatal(err)
+			}
+			if fs, err = inj.WrapFS(fs); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("fault injection armed: %s\n", *faultSpec)
+		}
+	}
+
 	// One fused scan serves every requested measurement: checksums, text
 	// stats, multi-pattern grep and the POS complexity profile all ride the
 	// same single read of each file (packed corpora shard-sequentially).
@@ -140,33 +190,70 @@ func main() {
 		}
 		plan := scan.NewPlan(vfs.Sources(fs.List()), scan.PlanOptions{TaskBytes: *taskB})
 
+		opts := dist.Options{
+			MaxAttempts:  *maxAtt,
+			AllowPartial: *allowPart,
+			Retry:        retry.Policy{Seed: *seed},
+		}
+		if *checkpoint != "" {
+			var j *dist.Journal
+			var jerr error
+			if *resume {
+				j, jerr = dist.OpenJournal(*checkpoint, plan.Fingerprint(), spec)
+			} else {
+				j, jerr = dist.CreateJournal(*checkpoint, plan.Fingerprint(), spec)
+			}
+			if jerr != nil {
+				fatal(jerr)
+			}
+			defer j.Close()
+			opts.Journal = j
+		}
+
 		var m *core.Measurement
 		var err error
 		switch {
 		case *wAddrs != "":
 			// Remote workers scan their own corpus views; the plan
-			// fingerprint preflight catches any divergence.
+			// fingerprint preflight catches any divergence. An armed
+			// injector perturbs the HTTP transport, not the remote daemons
+			// (give those their own -fault).
+			var hc *http.Client
+			if inj != nil {
+				hc = &http.Client{Transport: inj.Transport(nil)}
+			}
 			var fleet []dist.Worker
 			for _, a := range strings.Split(*wAddrs, ",") {
 				a = strings.TrimSpace(a)
 				if !strings.Contains(a, "://") {
 					a = "http://" + a
 				}
-				fleet = append(fleet, dist.NewHTTPWorker(a, a))
+				if hc != nil {
+					fleet = append(fleet, dist.NewHTTPWorkerClient(a, a, hc))
+				} else {
+					fleet = append(fleet, dist.NewHTTPWorker(a, a))
+				}
 			}
-			m, err = distMeasure(ctx, plan, spec, fleet)
+			m, err = distMeasure(ctx, plan, spec, fleet, opts)
 		case *workers > 0:
 			var fleet []dist.Worker
 			for i := 0; i < *workers; i++ {
-				l, lerr := dist.NewLocal(fmt.Sprintf("w%d", i), plan, spec)
+				name := fmt.Sprintf("w%d", i)
+				l, lerr := dist.NewLocal(name, plan, spec)
 				if lerr != nil {
 					fatal(lerr)
 				}
+				if inj != nil {
+					l.SetFault(inj.TaskKill(name))
+				}
 				fleet = append(fleet, l)
 			}
-			m, err = distMeasure(ctx, plan, spec, fleet)
+			m, err = distMeasure(ctx, plan, spec, fleet, opts)
 		default:
 			m, err = core.MeasurePlanCtx(ctx, plan, spec.MeasureOptions())
+		}
+		if inj != nil {
+			fmt.Printf("fault injection: %s\n", inj.Summary())
 		}
 		if err != nil {
 			fatal(err)
@@ -249,15 +336,40 @@ func main() {
 }
 
 // distMeasure runs the measurement through the coordinator–worker engine
-// and reports the per-worker tallies.
-func distMeasure(ctx context.Context, plan *scan.Plan, spec dist.Spec, fleet []dist.Worker) (*core.Measurement, error) {
-	m, stats, err := dist.Measure(ctx, plan, spec, fleet, dist.Options{})
-	for _, s := range stats {
+// and reports the per-worker tallies, resume/retry totals and — when the
+// run was allowed to degrade — the manifest of skipped tasks.
+func distMeasure(ctx context.Context, plan *scan.Plan, spec dist.Spec, fleet []dist.Worker, opts dist.Options) (*core.Measurement, error) {
+	m, rep, err := dist.Measure(ctx, plan, spec, fleet, opts)
+	if rep == nil {
+		return m, err
+	}
+	if rep.Resumed > 0 {
+		fmt.Printf("  resumed %d task(s) from checkpoint\n", rep.Resumed)
+	}
+	for _, s := range rep.Workers {
 		line := fmt.Sprintf("  worker %s: %d started, %d won, %d stolen", s.Name, s.Started, s.Won, s.Stolen)
+		if s.Retries > 0 {
+			line += fmt.Sprintf(", %d retried", s.Retries)
+		}
+		if s.Quarantined > 0 {
+			line += fmt.Sprintf(", quarantined %d time(s)", s.Quarantined)
+		}
 		if s.Dead {
 			line += " (died; tasks re-dispatched)"
 		}
 		fmt.Println(line)
+	}
+	if rep.Degraded() {
+		var files int
+		var bytes int64
+		for _, sk := range rep.Skipped {
+			files += sk.Files
+			bytes += sk.Bytes
+		}
+		fmt.Printf("  DEGRADED RESULT: %d task(s) skipped (%d files, %d bytes)\n", len(rep.Skipped), files, bytes)
+		for _, sk := range rep.Skipped {
+			fmt.Printf("    task %d shard %q (%d files, %d bytes): %s\n", sk.Task, sk.Shard, sk.Files, sk.Bytes, sk.Reason)
+		}
 	}
 	return m, err
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/corpus"
 	"repro/internal/dist"
+	"repro/internal/fault"
 	"repro/internal/scan"
 	"repro/internal/vfs"
 )
@@ -48,15 +49,25 @@ func main() {
 		seed      = flag.Int64("seed", 2011, "synthetic corpus random seed")
 		taskBytes = flag.Int64("task-bytes", 0, "task chunking cap for shard-less sources (0 = default; must match the coordinator)")
 		drain     = flag.Float64("drain", 10, "graceful-drain deadline in seconds after SIGINT/SIGTERM")
+		faultSpec = flag.String("fault", "", "seeded fault-injection spec, comma-separated key=value (e.g. seed=7,readerr=0.05,kill=0.1); see internal/fault")
+		verifyR   = flag.Bool("verify-reads", false, "verify pack member checksums on every read (requires -packs)")
 	)
 	flag.Parse()
+	if *verifyR && *packs == "" {
+		fmt.Fprintln(os.Stderr, "worker: -verify-reads needs a packed corpus (-packs)")
+		os.Exit(2)
+	}
 
 	var fs *vfs.FS
 	var err error
 	switch {
 	case *packs != "":
 		var closer interface{ Close() error }
-		fs, closer, err = vfs.ImportPackMappedCtx(ctx, strings.Split(*packs, ",")...)
+		if *verifyR {
+			fs, closer, err = vfs.ImportPackVerifiedCtx(ctx, strings.Split(*packs, ",")...)
+		} else {
+			fs, closer, err = vfs.ImportPackMappedCtx(ctx, strings.Split(*packs, ",")...)
+		}
 		if err == nil {
 			defer closer.Close()
 		}
@@ -79,6 +90,26 @@ func main() {
 		fatal(err)
 	}
 
+	// Fault injection wraps the corpus before the plan derivation; WrapFS
+	// preserves names, sizes and locality, so the fingerprint handshake
+	// with the coordinator still passes and only the bytes (and task
+	// execution, via the kill hook below) misbehave.
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		cfg, ferr := fault.ParseSpec(*faultSpec)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		if cfg.Enabled() {
+			if inj, err = fault.New(cfg); err != nil {
+				fatal(err)
+			}
+			if fs, err = inj.WrapFS(fs); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	plan := scan.NewPlan(vfs.Sources(fs.List()), scan.PlanOptions{TaskBytes: *taskBytes})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -90,6 +121,10 @@ func main() {
 		wname = ln.Addr().String()
 	}
 	ws := dist.NewWorkerServer(wname, plan)
+	if inj != nil {
+		ws.SetFault(inj.TaskKill(wname))
+		fmt.Printf("worker %s: fault injection armed: %s\n", wname, *faultSpec)
+	}
 	httpSrv := &http.Server{Handler: ws.Handler()}
 	fmt.Printf("worker %s: listening on http://%s (%d files, %d bytes, %d tasks, plan %016x)\n",
 		wname, ln.Addr(), fs.Len(), fs.TotalSize(), len(plan.Tasks), plan.Fingerprint())

@@ -3,16 +3,21 @@ package dist
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/errs"
+	"repro/internal/retry"
 	"repro/internal/scan"
 )
 
 // Options configures a coordinated run.
 type Options struct {
-	// MaxAttempts caps how many workers may attempt one task — the first
-	// dispatch plus steals and re-dispatches (0 = DefaultMaxAttempts).
+	// MaxAttempts caps how many coordinator-level attempts one task may
+	// consume — the first dispatch plus steals and re-dispatches
+	// (0 = DefaultMaxAttempts). Per-attempt transient retries (Retry)
+	// are separate: one attempt may retry the same worker several times.
 	// A task that exhausts its attempts fails the run rather than loop.
 	MaxAttempts int
 	// ScanWorkers bounds each worker's per-task scan fan-out
@@ -22,10 +27,85 @@ type Options struct {
 	// splits never change results; pinning it keeps instrumented runs
 	// exactly reproducible.
 	BlockSize int
+
+	// Retry shapes the per-attempt transient-failure loop: a worker
+	// whose Scan fails retryably (errs.IsRetryable — ErrUnavailable,
+	// refused connections, timeouts) is retried in place with
+	// exponential backoff + full jitter before the coordinator gives the
+	// task away. The zero value uses retry's defaults; Seed is mixed
+	// with the worker name so fleets do not back off in lockstep.
+	Retry retry.Policy
+	// RetryBudget caps total transient retries across the whole run
+	// (0 = DefaultRetryBudget, negative = unlimited), so a systemic
+	// fault fails loudly instead of stalling exponentially.
+	RetryBudget int
+	// Health configures worker health gating: trip, quarantine, probe,
+	// re-admission.
+	Health HealthOptions
+	// AllowPartial degrades instead of aborting when a task fails
+	// deterministically with ErrCorrupt: the task is skipped, the rest
+	// of the plan completes, and the Report carries an explicit manifest
+	// of what was left out. Without it a corrupt shard fails the run.
+	AllowPartial bool
+	// Journal, when set, checkpoints every completed task's kernel
+	// states and pre-loads tasks the journal already holds, so a killed
+	// coordinator resumes instead of rescanning — bit-identically, since
+	// the journaled states fold through the same frontier.
+	Journal *Journal
 }
 
-// DefaultMaxAttempts allows the initial dispatch plus two recoveries.
-const DefaultMaxAttempts = 3
+// Defaults for Options' zero fields.
+const (
+	// DefaultMaxAttempts allows the initial dispatch plus two recoveries.
+	DefaultMaxAttempts = 3
+	// DefaultRetryBudget bounds total transient retries per run.
+	DefaultRetryBudget = 64
+)
+
+// HealthOptions tunes the consecutive-failure trip and the
+// quarantine/probe/re-admission loop that replaced the engine's old
+// permanent-death model: a worker that keeps failing is quarantined
+// (gets no work), probed periodically, and either re-admitted when a
+// probe succeeds or declared dead when MaxProbes all fail.
+type HealthOptions struct {
+	// TripAfter is the consecutive exhausted-retry failure count that
+	// quarantines a worker (0 = DefaultTripAfter).
+	TripAfter int
+	// ProbeInterval spaces the quarantine probes (0 = DefaultProbeInterval).
+	ProbeInterval time.Duration
+	// MaxProbes is how many probes a quarantined worker gets before it
+	// is declared dead for the rest of the run (0 = DefaultMaxProbes).
+	MaxProbes int
+}
+
+// Health gating defaults.
+const (
+	DefaultTripAfter     = 2
+	DefaultProbeInterval = 50 * time.Millisecond
+	DefaultMaxProbes     = 3
+)
+
+func (h HealthOptions) withDefaults() HealthOptions {
+	if h.TripAfter <= 0 {
+		h.TripAfter = DefaultTripAfter
+	}
+	if h.ProbeInterval <= 0 {
+		h.ProbeInterval = DefaultProbeInterval
+	}
+	if h.MaxProbes <= 0 {
+		h.MaxProbes = DefaultMaxProbes
+	}
+	return h
+}
+
+// HealthChecker is the optional probe surface of a Worker: Probe
+// reports nil when the worker can take work again. HTTPWorker probes
+// GET /healthz; Local consults its test hook (healthy by default).
+// Workers without the interface are assumed healthy — their quarantine
+// ends at the first probe tick.
+type HealthChecker interface {
+	Probe(ctx context.Context) error
+}
 
 // WorkerStats reports one worker's share of a completed run.
 type WorkerStats struct {
@@ -39,11 +119,52 @@ type WorkerStats struct {
 	// Stolen counts attempts that speculated on a task already running
 	// elsewhere.
 	Stolen int
-	// Dead reports that the worker stopped answering (ErrUnavailable or
-	// a transport failure mapped onto it) and left the run; any task it
+	// Retries counts transient same-worker retries spent on this worker.
+	Retries int
+	// Quarantines counts how many times the worker tripped the health
+	// gate and was benched for probing.
+	Quarantined int
+	// Dead reports the worker failed its quarantine probes (or the run
+	// ended while it was benched) and left the run for good; any task it
 	// was running was re-dispatched.
 	Dead bool
 }
+
+// SkippedTask is one entry of a degraded run's manifest: a task the
+// coordinator abandoned under AllowPartial because its data is corrupt,
+// with enough identity (shard, file count, bytes) for the operator to
+// quarantine and repair the shard.
+type SkippedTask struct {
+	// Task is the plan task index.
+	Task int
+	// Shard is the pack shard the task scans ("" for shard-less tasks).
+	Shard string
+	// Files and Bytes describe the skipped slice of the corpus.
+	Files int
+	Bytes int64
+	// Reason is the corruption error that condemned the task.
+	Reason string
+}
+
+// Report describes a completed (or failed) run: who did what, what was
+// retried, what was resumed from the checkpoint, and — for degraded
+// runs — exactly what was skipped.
+type Report struct {
+	// Workers holds per-worker tallies, in fleet order.
+	Workers []WorkerStats
+	// Skipped is the degraded manifest, sorted by task index. Empty on
+	// full runs.
+	Skipped []SkippedTask
+	// Retries totals the transient same-worker retries across the run.
+	Retries int
+	// Resumed counts tasks whose states were loaded from the journal
+	// instead of scanned.
+	Resumed int
+}
+
+// Degraded reports whether the run skipped any tasks — the result is a
+// partial measurement and must be labelled as such.
+func (r *Report) Degraded() bool { return len(r.Skipped) > 0 }
 
 // coordinator is the shared state the per-worker loops contend on. All
 // fields are guarded by mu; cond wakes waiting loops when a task
@@ -53,15 +174,20 @@ type coordinator struct {
 	cond *sync.Cond
 
 	tasks       []taskState
-	done        int // completed tasks
+	done        int // completed tasks (won, resumed or skipped)
 	maxAttempts int
 
 	// frontier is the next task to fold: results are merged into the
 	// prototypes strictly in task order, exactly like the scan engine's
 	// per-file merge frontier, so the distributed fold is bit-identical
-	// to the in-process one.
+	// to the in-process one. Skipped tasks are stepped over — their
+	// absence, not some placeholder, is what makes the result partial.
 	frontier int
 	protos   []scan.Kernel
+
+	rep     *Report
+	journal *Journal
+	allow   bool // AllowPartial
 
 	// fatalErr is the run's verdict on task failure: the error from the
 	// lowest failing task index, mirroring par.Pool's contract so
@@ -78,6 +204,7 @@ type taskState struct {
 	running  int // attempts in flight right now
 	attempts int // attempts ever started
 	done     bool
+	skipped  bool     // done by abandonment (AllowPartial), nothing to fold
 	states   [][]byte // winning result, nil once folded
 }
 
@@ -93,7 +220,7 @@ func (c *coordinator) fail(task int, err error) {
 }
 
 // pick chooses the worker's next task under mu: the lowest-index task
-// nobody is running (fresh, or requeued after its worker died), else —
+// nobody is running (fresh, or requeued after a failed attempt), else —
 // work stealing — the lowest-index unfinished task still within its
 // attempt budget, speculating against a possibly-slow owner. The first
 // completed attempt wins; the loser's result is discarded.
@@ -126,11 +253,16 @@ func (c *coordinator) anyRunning() bool {
 // advanceFrontier folds every contiguously-completed task's states into
 // the prototypes, in task order: fork the prototype, restore the
 // portable state into the fork, merge — the exact in-process fold with a
-// Restore spliced in. Called under mu; Merge is never concurrent, per
-// the kernel contract.
+// Restore spliced in. Skipped tasks contribute nothing and are stepped
+// over. Called under mu; Merge is never concurrent, per the kernel
+// contract.
 func (c *coordinator) advanceFrontier() {
 	for c.frontier < len(c.tasks) && c.tasks[c.frontier].done {
 		t := &c.tasks[c.frontier]
+		if t.skipped {
+			c.frontier++
+			continue
+		}
 		if len(t.states) != len(c.protos) {
 			c.fail(c.frontier, errs.Invalid("dist: task %d returned %d kernel states, want %d",
 				c.frontier, len(t.states), len(c.protos)))
@@ -149,36 +281,154 @@ func (c *coordinator) advanceFrontier() {
 	}
 }
 
+// complete records a winning result for task under mu: journal first
+// (durability before visibility), then fold. Late duplicate wins (a
+// steal losing the race) are discarded by the caller's done check.
+func (c *coordinator) complete(task int, states [][]byte) {
+	t := &c.tasks[task]
+	if c.journal != nil {
+		if err := c.journal.Append(task, states); err != nil {
+			c.fail(task, err)
+			return
+		}
+	}
+	t.done = true
+	t.states = states
+	c.done++
+	c.advanceFrontier()
+}
+
+// skip abandons task under mu with the corruption that condemned it,
+// recording the degraded-manifest entry.
+func (c *coordinator) skip(task int, plan *scan.Plan, cause error) {
+	t := &c.tasks[task]
+	pt := plan.Tasks[task]
+	t.done = true
+	t.skipped = true
+	c.done++
+	c.rep.Skipped = append(c.rep.Skipped, SkippedTask{
+		Task:   task,
+		Shard:  pt.Shard,
+		Files:  pt.Hi - pt.Lo,
+		Bytes:  pt.Bytes,
+		Reason: cause.Error(),
+	})
+	c.advanceFrontier()
+}
+
+// mixSeed decorrelates the per-worker jitter streams from one base seed.
+func mixSeed(base int64, name string) int64 {
+	h := uint64(14695981039346656037)
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(uint64(base) >> (8 * i))
+	}
+	h = journalFold(h, buf[:])
+	h = journalFold(h, []byte(name))
+	if h == 0 {
+		h = 1
+	}
+	return int64(h)
+}
+
+// probe runs one quarantine's probe loop outside mu: up to MaxProbes
+// probes, ProbeInterval apart, ending early when the run finishes or
+// the context dies. It reports whether the worker may rejoin.
+func (c *coordinator) probe(ctx context.Context, w Worker, h HealthOptions) bool {
+	hc, probeable := w.(HealthChecker)
+	for i := 0; i < h.MaxProbes; i++ {
+		t := time.NewTimer(h.ProbeInterval)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return false
+		case <-t.C:
+		}
+		c.mu.Lock()
+		over := c.finished()
+		c.mu.Unlock()
+		if over {
+			return false
+		}
+		if !probeable || hc.Probe(ctx) == nil {
+			return true
+		}
+	}
+	return false
+}
+
 // Run distributes the plan's tasks across the workers and folds their
 // kernel states into the prototypes in task order. On success the
 // prototypes hold exactly what scan.Execute over the full plan would
 // have left in them — bit-identical by the portable-state and
-// associative-fold contracts — and the stats describe who did what
-// (stats are returned for failed runs too, for diagnostics). On failure
-// the prototypes hold an unspecified prefix and must be discarded; the
-// error is the lowest-task-index failure, with cancellation mapped
-// through the errs sentinels per the scan determinism contract.
-func Run(ctx context.Context, plan *scan.Plan, spec Spec, workers []Worker, opts Options, protos ...scan.Kernel) ([]WorkerStats, error) {
+// associative-fold contracts — unless the Report says Degraded, in
+// which case they hold exactly the non-skipped tasks' fold. The Report
+// describes who did what (returned for failed runs too, for
+// diagnostics). On failure the prototypes hold an unspecified prefix
+// and must be discarded; the error is the lowest-task-index failure,
+// with cancellation mapped through the errs sentinels per the scan
+// determinism contract.
+//
+// Resilience: a retryably-failing Scan (errs.IsRetryable) is retried on
+// the same worker under Options.Retry and the shared budget; a worker
+// whose failures trip Options.Health is quarantined, probed, and
+// re-admitted or declared dead; ErrCorrupt under AllowPartial skips the
+// task; completed tasks are journaled (Options.Journal) and journaled
+// tasks are folded without rescanning.
+func Run(ctx context.Context, plan *scan.Plan, spec Spec, workers []Worker, opts Options, protos ...scan.Kernel) (*Report, error) {
+	rep := &Report{Workers: make([]WorkerStats, len(workers))}
+	for i, w := range workers {
+		rep.Workers[i] = WorkerStats{Name: w.Name()}
+	}
 	if len(workers) == 0 {
-		return nil, errs.Invalid("dist: no workers")
+		return rep, errs.Invalid("dist: no workers")
 	}
 	if len(protos) == 0 {
-		return nil, errs.Invalid("dist: no kernels registered")
+		return rep, errs.Invalid("dist: no kernels registered")
 	}
 	maxAttempts := opts.MaxAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = DefaultMaxAttempts
+	}
+	health := opts.Health.withDefaults()
+	var budget *retry.Budget
+	if opts.RetryBudget >= 0 {
+		n := opts.RetryBudget
+		if n == 0 {
+			n = DefaultRetryBudget
+		}
+		budget = retry.NewBudget(n)
 	}
 
 	c := &coordinator{
 		tasks:       make([]taskState, len(plan.Tasks)),
 		maxAttempts: maxAttempts,
 		protos:      protos,
+		rep:         rep,
+		journal:     opts.Journal,
+		allow:       opts.AllowPartial,
 	}
 	c.cond = sync.NewCond(&c.mu)
-	stats := make([]WorkerStats, len(workers))
-	for i, w := range workers {
-		stats[i] = WorkerStats{Name: w.Name()}
+
+	// Resume: journaled tasks are done before any worker starts; the
+	// frontier folds the leading run of them immediately, and the rest
+	// fold as the gaps fill — bit-identically, because fold order is
+	// task order regardless of where states came from.
+	if opts.Journal != nil {
+		for task, states := range opts.Journal.States() {
+			if task < 0 || task >= len(c.tasks) {
+				return rep, errs.Invalid("dist: journal task %d out of range (plan has %d)", task, len(c.tasks))
+			}
+			t := &c.tasks[task]
+			t.done = true
+			t.states = states
+			c.done++
+			rep.Resumed++
+		}
+		c.advanceFrontier()
+		if c.fatalErr != nil {
+			return rep, c.fatalErr
+		}
 	}
 
 	// A context watcher flips the run into draining: waiting loops wake
@@ -197,7 +447,10 @@ func Run(ctx context.Context, plan *scan.Plan, spec Spec, workers []Worker, opts
 		wg.Add(1)
 		go func(wi int, w Worker) {
 			defer wg.Done()
-			st := &stats[wi]
+			st := &rep.Workers[wi]
+			policy := opts.Retry
+			policy.Seed = mixSeed(opts.Retry.Seed, w.Name())
+			consecFails := 0
 			for {
 				c.mu.Lock()
 				var task int
@@ -236,44 +489,71 @@ func Run(ctx context.Context, plan *scan.Plan, spec Spec, workers []Worker, opts
 				}
 				c.mu.Unlock()
 
-				resp, err := w.Scan(ctx, &ScanRequest{
+				req := &ScanRequest{
 					PlanFP:      planFP,
 					Spec:        spec,
 					Task:        task,
 					ScanWorkers: opts.ScanWorkers,
 					BlockSize:   opts.BlockSize,
+				}
+				var resp *ScanResponse
+				retries, err := retry.Do(ctx, policy, budget, func(ctx context.Context) error {
+					var serr error
+					resp, serr = w.Scan(ctx, req)
+					return serr
 				})
 
+				quarantine := false
 				c.mu.Lock()
 				t.running--
+				st.Retries += retries
+				rep.Retries += retries
 				switch {
 				case err != nil && ctx.Err() != nil:
 					// The run is being cancelled; the error is just that
 					// cancellation echoing back.
 					c.cancelled = true
-				case errors.Is(err, errs.ErrUnavailable):
-					// The worker is gone. Its decrement above requeues the
-					// task (running is back to 0, done is not set); the
-					// broadcast hands it to whoever is idle. This loop exits
-					// — a dead worker gets no more work.
+				case err == nil:
+					consecFails = 0
+					if !t.done {
+						c.complete(task, resp.States)
+						st.Won++
+					}
+				case errs.IsRetryable(err):
+					// Transient even after in-place retries. The decrement
+					// above requeues the task; the health gate decides
+					// whether this worker keeps playing.
+					consecFails++
+					if consecFails >= health.TripAfter {
+						quarantine = true
+						st.Quarantined++
+					}
+				case errors.Is(err, errs.ErrCorrupt) && c.allow:
+					// Deterministic data corruption: retrying anywhere
+					// reproduces it. Degrade: abandon the task, keep the run.
+					consecFails = 0
+					if !t.done {
+						c.skip(task, plan, err)
+					}
+				default:
+					// A deterministic failure (invalid request, scan bug):
+					// record at this task's index and stop the run.
+					c.fail(task, err)
+				}
+				c.cond.Broadcast()
+				c.mu.Unlock()
+
+				if quarantine {
+					if c.probe(ctx, w, health) {
+						consecFails = 0
+						continue
+					}
+					c.mu.Lock()
 					st.Dead = true
 					c.cond.Broadcast()
 					c.mu.Unlock()
 					return
-				case err != nil:
-					// A real task failure (corrupt shard, invalid request):
-					// deterministic, so retrying elsewhere would fail the
-					// same way. Record at this task's index and stop the run.
-					c.fail(task, err)
-				case !t.done:
-					t.done = true
-					t.states = resp.States
-					c.done++
-					st.Won++
-					c.advanceFrontier()
 				}
-				c.cond.Broadcast()
-				c.mu.Unlock()
 			}
 		}(wi, w)
 	}
@@ -281,15 +561,16 @@ func Run(ctx context.Context, plan *scan.Plan, spec Spec, workers []Worker, opts
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	sort.Slice(rep.Skipped, func(i, j int) bool { return rep.Skipped[i].Task < rep.Skipped[j].Task })
 	switch {
 	case c.fatalErr != nil:
-		return stats, c.fatalErr
+		return rep, c.fatalErr
 	case ctx.Err() != nil:
-		return stats, errs.FromContext(ctx)
+		return rep, errs.FromContext(ctx)
 	case c.done < len(c.tasks):
 		// Every worker loop exited (all dead) with work outstanding.
-		return stats, errs.Unavailable("dist: all %d workers unavailable with %d of %d tasks unfinished",
+		return rep, errs.Unavailable("dist: all %d workers unavailable with %d of %d tasks unfinished",
 			len(workers), len(c.tasks)-c.done, len(c.tasks))
 	}
-	return stats, nil
+	return rep, nil
 }

@@ -7,12 +7,31 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/errs"
+	"repro/internal/retry"
 	"repro/internal/scan"
 	"repro/internal/vfs"
 )
+
+// fastFailOpts are the options death-scenario tests run under: no
+// in-place retries (so fault-hook call counts stay choreographed), an
+// immediate health trip, and quick failing probes — the pre-gating
+// permanent-death behaviour, reachable deliberately instead of by
+// default.
+func fastFailOpts() Options {
+	return Options{
+		Retry:  retry.Policy{MaxAttempts: 1},
+		Health: HealthOptions{TripAfter: 1, ProbeInterval: time.Millisecond, MaxProbes: 1},
+	}
+}
+
+// alwaysDown is the health hook of a worker that never comes back.
+func alwaysDown(ctx context.Context) error {
+	return errs.Unavailable("induced death")
+}
 
 // testPlan builds a small in-memory corpus and a plan chopped into many
 // tasks (tiny TaskBytes), so even four workers have work to contend
@@ -103,17 +122,20 @@ func TestMeasureBitIdentical(t *testing.T) {
 			want := singleNode(t, p, spec)
 			for _, n := range []int{1, 2, 4} {
 				t.Run(fmt.Sprintf("workers-%d", n), func(t *testing.T) {
-					m, stats, err := Measure(context.Background(), p, spec, localWorkers(t, p, spec, n), Options{})
+					m, rep, err := Measure(context.Background(), p, spec, localWorkers(t, p, spec, n), Options{})
 					if err != nil {
 						t.Fatal(err)
 					}
 					sameMeasurement(t, m, want)
 					won := 0
-					for _, s := range stats {
+					for _, s := range rep.Workers {
 						won += s.Won
 					}
 					if won != len(p.Tasks) {
 						t.Errorf("workers won %d tasks, plan has %d", won, len(p.Tasks))
+					}
+					if rep.Degraded() || rep.Resumed != 0 {
+						t.Errorf("clean run reported degraded=%v resumed=%d", rep.Degraded(), rep.Resumed)
 					}
 				})
 			}
@@ -122,10 +144,11 @@ func TestMeasureBitIdentical(t *testing.T) {
 }
 
 // TestWorkerDiesMidRun kills one worker partway through — it completes
-// its first task, then reports ErrUnavailable on its second — and checks
-// the survivor picks up the re-dispatched task and the output stays
-// bit-identical. The survivor is gated on the death event, so the dying
-// worker deterministically gets both attempts in first.
+// its first task, then reports ErrUnavailable on its second, and its
+// health probe confirms it is gone — and checks the survivor picks up
+// the re-dispatched task and the output stays bit-identical. The
+// survivor is gated on the death event, so the dying worker
+// deterministically gets both attempts in first.
 func TestWorkerDiesMidRun(t *testing.T) {
 	spec := Spec{Patterns: []string{"error"}, Complexity: true}
 	p := testPlan(t, 24)
@@ -150,22 +173,27 @@ func TestWorkerDiesMidRun(t *testing.T) {
 		}
 		return nil
 	}
+	dying.SetHealth(alwaysDown)
 	survivorLocal, err := NewLocal("survivor", p, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	survivor := &gatedWorker{Local: survivorLocal, gate: died}
 
-	m, stats, err := Measure(context.Background(), p, spec, []Worker{dying, survivor}, Options{})
+	m, rep, err := Measure(context.Background(), p, spec, []Worker{dying, survivor}, fastFailOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
+	stats := rep.Workers
 	sameMeasurement(t, m, want)
 	if !stats[0].Dead {
 		t.Errorf("dying worker not marked dead: %+v", stats[0])
 	}
 	if stats[0].Won != 1 {
 		t.Errorf("dying worker won %d tasks, want 1", stats[0].Won)
+	}
+	if stats[0].Quarantined != 1 {
+		t.Errorf("dying worker quarantined %d times, want 1", stats[0].Quarantined)
 	}
 	if stats[1].Dead {
 		t.Errorf("survivor marked dead: %+v", stats[1])
@@ -187,7 +215,8 @@ func (w *gatedWorker) Scan(ctx context.Context, req *ScanRequest) (*ScanResponse
 }
 
 // TestAllWorkersDie checks the run fails with ErrUnavailable — not a
-// hang — when every worker stops answering.
+// hang — when every worker stops answering and stays down through its
+// health probes.
 func TestAllWorkersDie(t *testing.T) {
 	spec := Spec{}
 	p := testPlan(t, 12)
@@ -196,12 +225,13 @@ func TestAllWorkersDie(t *testing.T) {
 		w.(*Local).fault = func(ctx context.Context, task int) error {
 			return errs.Unavailable("induced death")
 		}
+		w.(*Local).SetHealth(alwaysDown)
 	}
-	_, stats, err := Measure(context.Background(), p, spec, ws, Options{})
+	_, rep, err := Measure(context.Background(), p, spec, ws, fastFailOpts())
 	if !errors.Is(err, errs.ErrUnavailable) {
 		t.Fatalf("err = %v, want ErrUnavailable", err)
 	}
-	for i, s := range stats {
+	for i, s := range rep.Workers {
 		if !s.Dead {
 			t.Errorf("worker %d not marked dead", i)
 		}
@@ -318,10 +348,11 @@ func TestStealFromSlowWorker(t *testing.T) {
 	}
 	fast := &countingWorker{Local: fastLocal, claimed: claimed, after: len(p.Tasks), release: release}
 
-	m, stats, err := Measure(context.Background(), p, spec, []Worker{slow, fast}, Options{})
+	m, rep, err := Measure(context.Background(), p, spec, []Worker{slow, fast}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	stats := rep.Workers
 	sameMeasurement(t, m, want)
 	if stats[1].Stolen == 0 {
 		t.Errorf("fast worker stole nothing: %+v", stats)

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/errs"
 	"repro/internal/scan"
@@ -30,11 +32,37 @@ type HTTPWorker struct {
 // "http://127.0.0.1:9101"). The request context governs timeouts; the
 // client itself sets none.
 func NewHTTPWorker(name, baseURL string) *HTTPWorker {
-	return &HTTPWorker{name: name, base: baseURL, hc: &http.Client{}}
+	return NewHTTPWorkerClient(name, baseURL, &http.Client{})
+}
+
+// NewHTTPWorkerClient is NewHTTPWorker with a caller-supplied client —
+// the injection point for instrumented or fault-injecting transports
+// (fault.Injector.Transport).
+func NewHTTPWorkerClient(name, baseURL string, hc *http.Client) *HTTPWorker {
+	return &HTTPWorker{name: name, base: baseURL, hc: hc}
 }
 
 // Name implements Worker.
 func (w *HTTPWorker) Name() string { return w.name }
+
+// Probe implements HealthChecker: one GET /healthz round trip. Any
+// transport failure or non-200 answer keeps the worker benched.
+func (w *HTTPWorker) Probe(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/healthz", nil)
+	if err != nil {
+		return errs.Invalid("dist: worker %q probe: %v", w.name, err)
+	}
+	resp, err := w.hc.Do(hreq)
+	if err != nil {
+		return errs.Unavailable("dist: worker %q probe: %v", w.name, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode != http.StatusOK {
+		return errs.Unavailable("dist: worker %q probe: status %d", w.name, resp.StatusCode)
+	}
+	return nil
+}
 
 // Scan implements Worker.
 func (w *HTTPWorker) Scan(ctx context.Context, req *ScanRequest) (*ScanResponse, error) {
@@ -73,7 +101,11 @@ func (w *HTTPWorker) Scan(ctx context.Context, req *ScanRequest) (*ScanResponse,
 // statusError maps a non-200 answer back onto the taxonomy — the inverse
 // of errs.HTTPStatus, so a sentinel crossing the wire comes back as
 // itself: 503 re-dispatches, 400 is a protocol bug, and a 500-class scan
-// failure stays fatal exactly as it would be in-process.
+// failure stays fatal exactly as it would be in-process. 429 and 503 are
+// both "come back later" (ErrUnavailable), and when the server says how
+// long — the Retry-After header — the hint rides along so the retry
+// layer waits at least that long instead of hammering an overloaded or
+// draining worker.
 func (w *HTTPWorker) statusError(resp *http.Response) error {
 	msg := "(no body)"
 	if b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10)); err == nil && len(b) > 0 {
@@ -89,15 +121,31 @@ func (w *HTTPWorker) statusError(resp *http.Response) error {
 		return errs.Invalid("dist: worker %q: %s", w.name, msg)
 	case 404:
 		return errs.NotFound("dist: worker %q: %s", w.name, msg)
+	case 429, 503:
+		err := errs.Unavailable("dist: worker %q: status %d: %s", w.name, resp.StatusCode, msg)
+		return errs.RetryAfter(err, retryAfterOf(resp))
 	case 499:
 		return fmt.Errorf("dist: worker %q: %s: %w", w.name, msg, errs.ErrCancelled)
-	case 503:
-		return errs.Unavailable("dist: worker %q: %s", w.name, msg)
 	case 504:
 		return fmt.Errorf("dist: worker %q: %s: %w", w.name, msg, errs.ErrDeadline)
 	default:
 		return fmt.Errorf("dist: worker %q: status %d: %s", w.name, resp.StatusCode, msg)
 	}
+}
+
+// retryAfterOf parses the response's Retry-After header (delta-seconds
+// form). 0 when absent or unparseable — errs.RetryAfter treats that as
+// "no hint".
+func retryAfterOf(resp *http.Response) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(s)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // WorkerServer is the daemon half: it owns a plan over its local corpus
@@ -119,11 +167,24 @@ type WorkerServer struct {
 	mu      sync.Mutex
 	local   *Local
 	specKey string
+	fault   func(ctx context.Context, task int) error
 }
 
 // NewWorkerServer returns a worker daemon over the plan.
 func NewWorkerServer(name string, plan *scan.Plan) *WorkerServer {
 	return &WorkerServer{name: name, plan: plan}
+}
+
+// SetFault installs a per-task fault hook on the daemon's Local workers
+// — how `cmd/worker -fault` injects seeded task kills on the server
+// side of the wire. Must be called before the first request.
+func (s *WorkerServer) SetFault(f func(ctx context.Context, task int) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fault = f
+	if s.local != nil {
+		s.local.SetFault(f)
+	}
 }
 
 // Handler returns the HTTP handler; the caller owns the http.Server and
@@ -149,6 +210,7 @@ func (s *WorkerServer) localFor(spec Spec) (*Local, error) {
 		if err != nil {
 			return nil, err
 		}
+		l.SetFault(s.fault)
 		s.local, s.specKey = l, string(key)
 	}
 	return s.local, nil

@@ -7,8 +7,10 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/errs"
+	"repro/internal/retry"
 )
 
 // TestHTTPWorkersBitIdentical runs the distributed measurement over real
@@ -26,13 +28,13 @@ func TestHTTPWorkersBitIdentical(t *testing.T) {
 		workers = append(workers, NewHTTPWorker(name, ts.URL))
 	}
 
-	m, stats, err := Measure(context.Background(), p, spec, workers, Options{})
+	m, rep, err := Measure(context.Background(), p, spec, workers, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	sameMeasurement(t, m, want)
 	won := 0
-	for _, s := range stats {
+	for _, s := range rep.Workers {
 		won += s.Won
 	}
 	if won != len(p.Tasks) {
@@ -60,34 +62,41 @@ func (a *abortOnce) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	a.inner.ServeHTTP(w, r)
 }
 
-// TestHTTPWorkerKilledMidFlight kills one HTTP worker's connection in
+// TestHTTPWorkerKilledMidFlight aborts one HTTP worker's connection in
 // the middle of its first task; the coordinator must map the transport
-// failure onto ErrUnavailable, mark the worker dead, re-dispatch the
-// task to the survivor, and still produce bit-identical output.
+// failure onto ErrUnavailable and — since the daemon itself survives —
+// retry the task in place rather than writing the worker off. The run
+// stays bit-identical and nobody dies.
 func TestHTTPWorkerKilledMidFlight(t *testing.T) {
 	spec := Spec{Patterns: []string{"error"}}
 	p := testPlan(t, 24)
 	want := singleNode(t, p, spec)
 
 	died := make(chan struct{})
-	dyingSrv := httptest.NewServer(&notifyAbort{abort: &abortOnce{inner: NewWorkerServer("dying", p).Handler()}, died: died})
-	defer dyingSrv.Close()
-	survivorSrv := httptest.NewServer(NewWorkerServer("survivor", p).Handler())
-	defer survivorSrv.Close()
+	flakySrv := httptest.NewServer(&notifyAbort{abort: &abortOnce{inner: NewWorkerServer("flaky", p).Handler()}, died: died})
+	defer flakySrv.Close()
+	steadySrv := httptest.NewServer(NewWorkerServer("steady", p).Handler())
+	defer steadySrv.Close()
 
-	dying := NewHTTPWorker("dying", dyingSrv.URL)
-	survivor := &gatedHTTPWorker{HTTPWorker: NewHTTPWorker("survivor", survivorSrv.URL), gate: died}
+	flaky := NewHTTPWorker("flaky", flakySrv.URL)
+	steady := &gatedHTTPWorker{HTTPWorker: NewHTTPWorker("steady", steadySrv.URL), gate: died}
 
-	m, stats, err := Measure(context.Background(), p, spec, []Worker{dying, survivor}, Options{})
+	opts := Options{Retry: retry.Policy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}}
+	m, rep, err := Measure(context.Background(), p, spec, []Worker{flaky, steady}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sameMeasurement(t, m, want)
-	if !stats[0].Dead {
-		t.Errorf("dying worker not marked dead: %+v", stats[0])
+	if rep.Retries < 1 {
+		t.Errorf("Retries = %d, want >= 1 (aborted attempt retried in place)", rep.Retries)
 	}
-	if stats[1].Won != len(p.Tasks) {
-		t.Errorf("survivor won %d of %d tasks", stats[1].Won, len(p.Tasks))
+	for _, s := range rep.Workers {
+		if s.Dead {
+			t.Errorf("worker %q marked dead; transient abort should be retried: %+v", s.Name, s)
+		}
+	}
+	if won := rep.Workers[0].Won + rep.Workers[1].Won; won != len(p.Tasks) {
+		t.Errorf("workers won %d of %d tasks", won, len(p.Tasks))
 	}
 }
 
@@ -126,32 +135,117 @@ func TestHTTPWorkerConnectionRefused(t *testing.T) {
 	defer ts.Close()
 
 	failed := make(chan struct{})
-	ghost := &failNotifyWorker{Worker: NewHTTPWorker("ghost", "http://127.0.0.1:1"), failed: failed}
+	ghost := &failNotifyWorker{HTTPWorker: NewHTTPWorker("ghost", "http://127.0.0.1:1"), failed: failed}
 	live := &gatedHTTPWorker{HTTPWorker: NewHTTPWorker("live", ts.URL), gate: failed}
 
-	m, stats, err := Measure(context.Background(), p, spec, []Worker{ghost, live}, Options{})
+	// The ghost's health probe refuses too, so quarantine cannot
+	// re-admit it: the trip escalates to death.
+	m, rep, err := Measure(context.Background(), p, spec, []Worker{ghost, live}, fastFailOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
 	sameMeasurement(t, m, want)
-	if !stats[0].Dead {
-		t.Errorf("ghost worker not marked dead: %+v", stats[0])
+	if !rep.Workers[0].Dead {
+		t.Errorf("ghost worker not marked dead: %+v", rep.Workers[0])
 	}
 }
 
-// failNotifyWorker closes failed once the wrapped worker errors.
+// failNotifyWorker closes failed once the wrapped worker errors. It
+// embeds the concrete HTTPWorker so Probe stays visible: the
+// coordinator's health check must reach the (dead) address too.
 type failNotifyWorker struct {
-	Worker
+	*HTTPWorker
 	failed chan struct{}
 	once   sync.Once
 }
 
 func (w *failNotifyWorker) Scan(ctx context.Context, req *ScanRequest) (*ScanResponse, error) {
-	resp, err := w.Worker.Scan(ctx, req)
+	resp, err := w.HTTPWorker.Scan(ctx, req)
 	if err != nil {
 		w.once.Do(func() { close(w.failed) })
 	}
 	return resp, err
+}
+
+// TestHTTPWorkerRetryAfter pins the back-pressure contract: 429 and
+// 503 answers come back as retryable ErrUnavailable carrying the
+// server's Retry-After hint, so the retry layer waits at least that
+// long instead of hammering an overloaded worker.
+func TestHTTPWorkerRetryAfter(t *testing.T) {
+	p := testPlan(t, 12)
+	inner := NewWorkerServer("busy", p).Handler()
+	for _, tc := range []struct {
+		name       string
+		status     int
+		retryAfter string
+		wantHint   time.Duration
+	}{
+		{"503-with-hint", http.StatusServiceUnavailable, "2", 2 * time.Second},
+		{"429-with-hint", http.StatusTooManyRequests, "1", time.Second},
+		{"503-no-hint", http.StatusServiceUnavailable, "", 0},
+		{"503-bad-hint", http.StatusServiceUnavailable, "soon", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var rejected bool
+			var mu sync.Mutex
+			h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				mu.Lock()
+				first := !rejected
+				rejected = true
+				mu.Unlock()
+				if first && r.URL.Path == "/v1/scan" {
+					if tc.retryAfter != "" {
+						w.Header().Set("Retry-After", tc.retryAfter)
+					}
+					w.Header().Set("Content-Type", "application/json")
+					w.WriteHeader(tc.status)
+					w.Write([]byte(`{"error":"busy"}`))
+					return
+				}
+				inner.ServeHTTP(w, r)
+			})
+			ts := httptest.NewServer(h)
+			defer ts.Close()
+
+			w := NewHTTPWorker("busy", ts.URL)
+			req := &ScanRequest{PlanFP: p.Fingerprint(), Task: 0}
+			_, err := w.Scan(context.Background(), req)
+			if !errs.IsRetryable(err) {
+				t.Fatalf("status %d: err = %v, want retryable", tc.status, err)
+			}
+			hint, ok := errs.RetryAfterHint(err)
+			if hint != tc.wantHint || ok != (tc.wantHint > 0) {
+				t.Errorf("RetryAfterHint = (%v, %v), want (%v, %v)", hint, ok, tc.wantHint, tc.wantHint > 0)
+			}
+			// The rejection is transient: the next call must succeed.
+			resp, err := w.Scan(context.Background(), req)
+			if err != nil {
+				t.Fatalf("second scan: %v", err)
+			}
+			if resp.Task != 0 || len(resp.States) == 0 {
+				t.Errorf("second scan returned %+v", resp)
+			}
+		})
+	}
+}
+
+// TestHTTPWorkerProbe checks the health-probe round trip: a live daemon
+// answers healthy, a dead address answers retryably unhealthy.
+func TestHTTPWorkerProbe(t *testing.T) {
+	p := testPlan(t, 12)
+	ts := httptest.NewServer(NewWorkerServer("live", p).Handler())
+	defer ts.Close()
+
+	if err := NewHTTPWorker("live", ts.URL).Probe(context.Background()); err != nil {
+		t.Errorf("live probe: %v", err)
+	}
+	err := NewHTTPWorker("ghost", "http://127.0.0.1:1").Probe(context.Background())
+	if err == nil {
+		t.Fatal("ghost probe succeeded")
+	}
+	if !errors.Is(err, errs.ErrUnavailable) {
+		t.Errorf("ghost probe err = %v, want ErrUnavailable", err)
+	}
 }
 
 // TestHTTPWorkerPlanMismatch checks the fingerprint preflight crosses

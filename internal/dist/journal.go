@@ -1,0 +1,320 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/errs"
+)
+
+// Journal is the coordinator's checkpoint: an append-only on-disk log
+// of completed task states, so a run killed partway (coordinator crash,
+// SIGKILL, power loss) can resume and re-scan only the tasks that never
+// finished. It records exactly what the merge frontier folds — each
+// task's serialized kernel states (scan.StateCodec snapshots) — so a
+// resumed run folds the journaled states through the identical
+// Fork→Restore→Merge path and its output is bit-identical to an
+// uninterrupted run.
+//
+// Format (all integers little-endian, checksums FNV-64a):
+//
+//	header:  magic "RJRNLv1\n" | plan fingerprint u64 | spec length u32 |
+//	         spec JSON | header checksum u64 (over fingerprint + spec)
+//	record:  "JREC" | task u32 | state count u32 |
+//	         per state: length u32 | bytes | record checksum u64
+//	         (over everything after the record magic)
+//
+// The header pins the journal to one (plan, spec): resuming against a
+// different corpus or kernel set refuses with ErrInvalid instead of
+// folding foreign states. Like packstore's Recover, loading tolerates a
+// torn tail — a record cut short by the crash that made the journal
+// useful is dropped and the file truncated to the last complete record —
+// but corruption *before* the tail is a loud ErrCorrupt.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	resumed  map[int][][]byte
+	appended int
+	closed   bool
+}
+
+const journalMagic = "RJRNLv1\n"
+const journalRecMagic = "JREC"
+
+// fnv64a over b, continuing from h (offset basis for a fresh sum).
+func journalFold(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+const journalFNVOffset = 14695981039346656037
+
+func journalU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func journalU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func journalReadU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func journalReadU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// journalHeader builds the serialized header for (planFP, spec).
+func journalHeader(planFP uint64, spec Spec) ([]byte, error) {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, errs.Invalid("dist: journal: encoding spec: %v", err)
+	}
+	buf := make([]byte, 0, len(journalMagic)+8+4+len(specJSON)+8)
+	buf = append(buf, journalMagic...)
+	var u [8]byte
+	journalU64(u[:], planFP)
+	buf = append(buf, u[:]...)
+	var l [4]byte
+	journalU32(l[:], uint32(len(specJSON)))
+	buf = append(buf, l[:]...)
+	buf = append(buf, specJSON...)
+	sum := journalFold(journalFold(journalFNVOffset, u[:]), specJSON)
+	journalU64(u[:], sum)
+	buf = append(buf, u[:]...)
+	return buf, nil
+}
+
+// CreateJournal starts a fresh checkpoint at path for (planFP, spec),
+// truncating any existing file — the "start over" mode `pipeline
+// -checkpoint` uses when -resume is not given.
+func CreateJournal(path string, planFP uint64, spec Spec) (*Journal, error) {
+	hdr, err := journalHeader(planFP, spec)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dist: journal %s: %w", path, err)
+	}
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dist: journal %s: writing header: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dist: journal %s: %w", path, err)
+	}
+	return &Journal{f: f, path: path, resumed: map[int][][]byte{}}, nil
+}
+
+// OpenJournal resumes the checkpoint at path: it validates the header
+// against (planFP, spec) — a mismatch is ErrInvalid, never a silent
+// fold of foreign states — loads every complete record, drops a torn
+// tail (truncating the file to the last complete record so appends
+// continue cleanly), and reports non-tail corruption as ErrCorrupt. A
+// missing or empty file starts a fresh journal, so `pipeline -resume`
+// works on the first run too.
+func OpenJournal(path string, planFP uint64, spec Spec) (*Journal, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) || (err == nil && len(raw) == 0) {
+		return CreateJournal(path, planFP, spec)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: journal %s: %w", path, err)
+	}
+	wantHdr, err := journalHeader(planFP, spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(journalMagic) || string(raw[:len(journalMagic)]) != journalMagic {
+		return nil, errs.Corrupt("dist: journal %s: bad magic", path)
+	}
+	hdr, err := parseJournalHeader(path, raw)
+	if err != nil {
+		return nil, err
+	}
+	if string(raw[:len(hdr)]) != string(wantHdr) {
+		return nil, errs.Invalid(
+			"dist: journal %s belongs to a different run (plan fingerprint or spec mismatch)", path)
+	}
+	resumed, goodEnd, err := parseJournalRecords(path, raw, len(hdr))
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dist: journal %s: %w", path, err)
+	}
+	if err := f.Truncate(int64(goodEnd)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dist: journal %s: truncating torn tail: %w", path, err)
+	}
+	if _, err := f.Seek(int64(goodEnd), io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dist: journal %s: %w", path, err)
+	}
+	return &Journal{f: f, path: path, resumed: resumed}, nil
+}
+
+// parseJournalHeader validates structure and checksum, returning the
+// full header bytes (identity comparison is the caller's).
+func parseJournalHeader(path string, raw []byte) ([]byte, error) {
+	off := len(journalMagic)
+	if len(raw) < off+8+4 {
+		return nil, errs.Corrupt("dist: journal %s: truncated header", path)
+	}
+	specLen := int(journalReadU32(raw[off+8:]))
+	end := off + 8 + 4 + specLen + 8
+	if specLen > len(raw) || end > len(raw) {
+		return nil, errs.Corrupt("dist: journal %s: truncated header", path)
+	}
+	sum := journalFold(journalFold(journalFNVOffset, raw[off:off+8]), raw[off+12:off+12+specLen])
+	if journalReadU64(raw[end-8:]) != sum {
+		return nil, errs.Corrupt("dist: journal %s: header checksum mismatch", path)
+	}
+	return raw[:end], nil
+}
+
+// parseJournalRecords walks the record region. A clean cut at the tail
+// (crash mid-append) stops the walk; a checksum mismatch on a complete
+// record is corruption and fails the load. Duplicate task records keep
+// the first occurrence — it is the one an interrupted run's frontier
+// may already have folded.
+func parseJournalRecords(path string, raw []byte, start int) (map[int][][]byte, int, error) {
+	resumed := map[int][][]byte{}
+	off := start
+	for off < len(raw) {
+		recStart := off
+		if len(raw)-off < len(journalRecMagic)+4+4 {
+			return resumed, recStart, nil // torn tail
+		}
+		if string(raw[off:off+len(journalRecMagic)]) != journalRecMagic {
+			return nil, 0, errs.Corrupt("dist: journal %s: bad record magic at offset %d", path, off)
+		}
+		off += len(journalRecMagic)
+		body := off
+		task := int(journalReadU32(raw[off:]))
+		nstates := int(journalReadU32(raw[off+4:]))
+		off += 8
+		states := make([][]byte, 0, nstates)
+		torn := false
+		for s := 0; s < nstates; s++ {
+			if len(raw)-off < 4 {
+				torn = true
+				break
+			}
+			n := int(journalReadU32(raw[off:]))
+			off += 4
+			if len(raw)-off < n {
+				torn = true
+				break
+			}
+			states = append(states, append([]byte(nil), raw[off:off+n]...))
+			off += n
+		}
+		if torn || len(raw)-off < 8 {
+			return resumed, recStart, nil // torn tail
+		}
+		sum := journalFold(journalFNVOffset, raw[body:off])
+		if journalReadU64(raw[off:]) != sum {
+			// A bad checksum on the *last* record is a torn/garbled tail —
+			// drop it. Anywhere else it is mid-file corruption.
+			if off+8 == len(raw) {
+				return resumed, recStart, nil
+			}
+			return nil, 0, errs.Corrupt("dist: journal %s: record checksum mismatch at offset %d", path, recStart)
+		}
+		off += 8
+		if _, dup := resumed[task]; !dup {
+			resumed[task] = states
+		}
+	}
+	return resumed, off, nil
+}
+
+// States returns the journaled task results loaded at open: task index →
+// kernel state snapshots. The map is the journal's own; callers must
+// not mutate it.
+func (j *Journal) States() map[int][][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resumed
+}
+
+// Len reports how many completed tasks the journal holds (resumed plus
+// appended this run).
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.resumed) + j.appended
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append durably records one completed task's kernel states: the write
+// is synced before returning, so a journal entry implies the states
+// survive a crash. Called by the coordinator the moment a task wins;
+// a failed append fails the run (a checkpoint that silently loses
+// entries is worse than none).
+func (j *Journal) Append(task int, states [][]byte) error {
+	size := len(journalRecMagic) + 4 + 4 + 8
+	for _, s := range states {
+		size += 4 + len(s)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, journalRecMagic...)
+	var u [8]byte
+	journalU32(u[:4], uint32(task))
+	buf = append(buf, u[:4]...)
+	journalU32(u[:4], uint32(len(states)))
+	buf = append(buf, u[:4]...)
+	for _, s := range states {
+		journalU32(u[:4], uint32(len(s)))
+		buf = append(buf, u[:4]...)
+		buf = append(buf, s...)
+	}
+	sum := journalFold(journalFNVOffset, buf[len(journalRecMagic):])
+	journalU64(u[:], sum)
+	buf = append(buf, u[:]...)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errs.Invalid("dist: journal %s: append after close", j.path)
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("dist: journal %s: appending task %d: %w", j.path, task, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("dist: journal %s: syncing task %d: %w", j.path, task, err)
+	}
+	j.appended++
+	return nil
+}
+
+// Close releases the journal file. The file itself stays on disk — it
+// is the resume artifact.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}

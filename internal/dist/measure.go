@@ -14,16 +14,20 @@ import (
 // is bit-identical to core.MeasurePlanCtx over the same plan and
 // options — manifest checksums, grep counts, text statistics and
 // per-file complexity all — at any worker count, including runs where
-// workers died and their tasks were re-dispatched. Errors carry the
+// workers died, retried, were quarantined and re-admitted, or where
+// tasks were resumed from a checkpoint journal. The one exception is a
+// degraded run (Options.AllowPartial with Report.Degraded() true): the
+// measurement then covers exactly the non-skipped tasks, and the
+// Report's Skipped manifest says what is missing. Errors carry the
 // "dist" stage.
-func Measure(ctx context.Context, plan *scan.Plan, spec Spec, workers []Worker, opts Options) (*core.Measurement, []WorkerStats, error) {
+func Measure(ctx context.Context, plan *scan.Plan, spec Spec, workers []Worker, opts Options) (*core.Measurement, *Report, error) {
 	mk, err := spec.Kernels()
 	if err != nil {
-		return nil, nil, errs.Stage("dist", err)
+		return nil, &Report{}, errs.Stage("dist", err)
 	}
-	stats, err := Run(ctx, plan, spec, workers, opts, mk.List...)
+	rep, err := Run(ctx, plan, spec, workers, opts, mk.List...)
 	if err != nil {
-		return nil, stats, errs.Stage("dist", err)
+		return nil, rep, errs.Stage("dist", err)
 	}
-	return mk.Measurement(), stats, nil
+	return mk.Measurement(), rep, nil
 }

@@ -1,0 +1,79 @@
+package errs
+
+import (
+	"errors"
+	"net"
+	"syscall"
+	"time"
+)
+
+// IsRetryable reports whether err is a transient failure that a retry
+// loop may reasonably attempt again: the resource exists and the
+// operation was well-formed, but this attempt lost a race with the
+// environment. The classification is deliberately conservative —
+// anything deterministic (bad argument, missing member, corrupt bytes)
+// or intentional (cancellation, deadline) returns false, because
+// retrying those burns the retry budget without ever succeeding.
+//
+// Retryable:
+//
+//   - ErrUnavailable (draining server, dead worker, 503/429 responses);
+//   - ECONNREFUSED / ECONNRESET / EPIPE (the peer vanished mid-dial or
+//     mid-stream — the canonical transient network faults);
+//   - net.Error timeouts (a per-attempt dial or read timer fired, as
+//     opposed to ErrDeadline, which is the *run's* wall clock expiring).
+//
+// Not retryable: nil, ErrCancelled, ErrDeadline, ErrCorrupt,
+// ErrNotFound, ErrInvalid, and anything unrecognised.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, ErrCancelled), errors.Is(err, ErrDeadline),
+		errors.Is(err, ErrCorrupt), errors.Is(err, ErrNotFound),
+		errors.Is(err, ErrInvalid):
+		return false
+	case errors.Is(err, ErrUnavailable):
+		return true
+	case errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE):
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// retryAfterError attaches a server-provided "come back in d" hint to a
+// transient error. It unwraps to the underlying error so IsRetryable
+// and errors.Is classification are unaffected by the annotation.
+type retryAfterError struct {
+	err error
+	d   time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// RetryAfter annotates err with a server-provided backoff hint (the
+// HTTP Retry-After header on 429/503 responses). A nil err returns nil;
+// a non-positive hint returns err unchanged. Retry loops read the hint
+// back with RetryAfterHint and must wait at least that long before the
+// next attempt.
+func RetryAfter(err error, d time.Duration) error {
+	if err == nil || d <= 0 {
+		return err
+	}
+	return &retryAfterError{err: err, d: d}
+}
+
+// RetryAfterHint extracts the most recent RetryAfter annotation from
+// err's chain. ok is false when no hint is attached.
+func RetryAfterHint(err error) (d time.Duration, ok bool) {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.d, true
+	}
+	return 0, false
+}

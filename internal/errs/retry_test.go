@@ -1,0 +1,103 @@
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// timeoutErr is a minimal net.Error with Timeout() true — the shape a
+// per-attempt dial or read deadline produces.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestIsRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+
+		// Transient network faults: the canonical retryable set.
+		{"unavailable", ErrUnavailable, true},
+		{"wrapped unavailable", Unavailable("worker %q gone", "w0"), true},
+		{"staged unavailable", Stage("dist", ErrUnavailable), true},
+		{"econnrefused", syscall.ECONNREFUSED, true},
+		{"dial econnrefused", &net.OpError{
+			Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED,
+		}, true},
+		{"econnreset", &net.OpError{
+			Op: "read", Net: "tcp", Err: syscall.ECONNRESET,
+		}, true},
+		{"epipe", fmt.Errorf("write: %w", syscall.EPIPE), true},
+		{"net timeout", timeoutErr{}, true},
+		{"wrapped net timeout", fmt.Errorf("attempt: %w", timeoutErr{}), true},
+
+		// HTTP 429/503 as surfaced by the dist client: both map onto
+		// ErrUnavailable (with an optional Retry-After hint that must not
+		// change the classification).
+		{"http 429", RetryAfter(Unavailable("scan: 429 too many requests"), time.Second), true},
+		{"http 503", RetryAfter(Unavailable("scan: 503 draining"), 2*time.Second), true},
+
+		// Deterministic failures: retrying cannot help.
+		{"http 400 invalid", Invalid("scan: 400 bad plan"), false},
+		{"http 404 not found", NotFound("scan: 404 no such member"), false},
+		{"corrupt", Corrupt("shard-000 member %q", "doc-1"), false},
+		{"staged corrupt", StageFile("verify", "doc-1", ErrCorrupt), false},
+
+		// Intentional aborts: the run is over, not flaky.
+		{"cancelled", ErrCancelled, false},
+		{"deadline", ErrDeadline, false},
+		{"context cancelled", Categorize(context.Canceled), false},
+		{"context deadline", Categorize(context.DeadlineExceeded), false},
+
+		{"plain error", errors.New("boom"), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsRetryable(tc.err); got != tc.want {
+				t.Fatalf("IsRetryable(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRetryAfterHint(t *testing.T) {
+	base := Unavailable("scan: 503 draining")
+
+	if _, ok := RetryAfterHint(base); ok {
+		t.Fatal("unannotated error reported a hint")
+	}
+	if err := RetryAfter(nil, time.Second); err != nil {
+		t.Fatalf("RetryAfter(nil) = %v, want nil", err)
+	}
+	if err := RetryAfter(base, 0); err != base {
+		t.Fatalf("RetryAfter(err, 0) = %v, want the error unchanged", err)
+	}
+
+	hinted := RetryAfter(base, 3*time.Second)
+	d, ok := RetryAfterHint(hinted)
+	if !ok || d != 3*time.Second {
+		t.Fatalf("RetryAfterHint = (%v, %v), want (3s, true)", d, ok)
+	}
+	// The annotation must be transparent to classification.
+	if !errors.Is(hinted, ErrUnavailable) {
+		t.Fatal("hinted error lost its ErrUnavailable identity")
+	}
+	if !IsRetryable(hinted) {
+		t.Fatal("hinted error must stay retryable")
+	}
+	// Wrapping the hinted error (stage identity) must not hide the hint.
+	staged := Stage("dist", hinted)
+	if d, ok := RetryAfterHint(staged); !ok || d != 3*time.Second {
+		t.Fatalf("RetryAfterHint(staged) = (%v, %v), want (3s, true)", d, ok)
+	}
+}

@@ -2,11 +2,15 @@ package packstore
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
+
+	"repro/internal/errs"
 )
 
 // truncateTo copies the pack at src truncated to n bytes.
@@ -169,8 +173,68 @@ func TestRecoverRejectsNonTailCorruption(t *testing.T) {
 	if err := os.WriteFile(path, data[:info.Size()-10], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Recover(path); err == nil {
+	_, err = Recover(path)
+	if err == nil {
 		t.Fatal("Recover accepted corruption in the middle of the pack")
+	}
+	// The refusal is typed and names the damaged member: the operator
+	// learns *which* file to restore, not just that something is wrong.
+	if !errors.Is(err, errs.ErrCorrupt) {
+		t.Errorf("errors.Is(err, ErrCorrupt) = false: %v", err)
+	}
+	var se *errs.StageError
+	if !errors.As(err, &se) || se.File != first.Name {
+		t.Errorf("Recover blamed %v, want member %q", err, first.Name)
+	}
+}
+
+// TestRecoverCorruptRecordBody flips a byte deep inside an interior
+// record's payload — not the tail, not the index — on a pack whose
+// footer is also gone. Recover's salvage must refuse with ErrCorrupt
+// naming the damaged member rather than resurrect bad bytes.
+func TestRecoverCorruptRecordBody(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.pack")
+	members := testMembers(12)
+	writePack(t, path, members)
+	p, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Victim: a mid-pack member (neither first nor last by offset) with a
+	// payload to damage.
+	byOffset := append([]Member(nil), p.Members()...)
+	sort.Slice(byOffset, func(i, j int) bool { return byOffset[i].Offset < byOffset[j].Offset })
+	var victim Member
+	for _, m := range byOffset[1 : len(byOffset)-1] {
+		if m.Size > 2 {
+			victim = m
+			break
+		}
+	}
+	p.Close()
+	if victim.Name == "" {
+		t.Fatal("no mid-pack member with a payload")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[victim.Offset+victim.Size/2] ^= 0x01
+	// Cut the footer so Recover takes the salvage path.
+	if err := os.WriteFile(path, data[:len(data)-footerLen], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Recover(path)
+	if err == nil {
+		t.Fatal("Recover salvaged a pack with a corrupt interior record body")
+	}
+	if !errors.Is(err, errs.ErrCorrupt) {
+		t.Errorf("errors.Is(err, ErrCorrupt) = false: %v", err)
+	}
+	var se *errs.StageError
+	if !errors.As(err, &se) || se.File != victim.Name {
+		t.Errorf("Recover blamed %v, want member %q", err, victim.Name)
 	}
 }
 

@@ -157,11 +157,16 @@ func readSource(src Source, buf []byte) ([]byte, error) {
 		return nil, fmt.Errorf("scan: reading %q: %w", src.Name, err)
 	}
 	// Probe for bytes past the declared size: over-long content is as
-	// corrupt as a short file.
+	// corrupt as a short file. A non-EOF probe error is the source's own
+	// verdict (verified pack readers report checksum mismatches on the
+	// drain read) and must not be dropped.
 	probe := buf[len(buf) : len(buf)+1]
-	if extra, _ := r.Read(probe); extra > 0 {
+	if extra, perr := r.Read(probe); extra > 0 {
 		closeIgnore(r)
 		return nil, errs.Corrupt("scan: %q has more content than its declared %d bytes", src.Name, src.Size)
+	} else if perr != nil && perr != io.EOF {
+		closeIgnore(r)
+		return nil, fmt.Errorf("scan: reading %q: %w", src.Name, perr)
 	}
 	if c, ok := r.(io.Closer); ok {
 		if cerr := c.Close(); cerr != nil {

@@ -282,6 +282,9 @@ func TestDrainAndHardStop(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain request: status %d: %s, want 503", resp.StatusCode, data)
 	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 draining refusal carries no Retry-After header")
+	}
 	var hz HealthzResponse
 	if r := getJSON(t, ts.URL+"/healthz", &hz); r.StatusCode != 503 || hz.Status != "draining" {
 		t.Errorf("healthz while draining = %d %q, want 503 draining", r.StatusCode, hz.Status)

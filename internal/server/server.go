@@ -229,6 +229,9 @@ func (s *Server) runScan(w http.ResponseWriter, r *http.Request, endpoint string
 			WriteJSON(w, http.StatusTooManyRequests, ErrorBody{Error: err.Error(), Status: http.StatusTooManyRequests})
 		case ErrDraining:
 			s.met.drained.Add(1)
+			// A draining server is gone for good shortly; the hint tells
+			// retrying clients to try a replica rather than spin here.
+			w.Header().Set("Retry-After", "1")
 			WriteJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: err.Error(), Status: http.StatusServiceUnavailable})
 		default:
 			// The client vanished while queued; status is a formality.

@@ -3,6 +3,8 @@ package vfs
 import (
 	"context"
 	"fmt"
+	"hash"
+	"hash/fnv"
 	"io"
 	"os"
 
@@ -141,6 +143,29 @@ func ImportPack(sources ...string) (*FS, io.Closer, error) {
 // discovery and between member registrations; on abort any packs opened
 // so far are closed before the typed cancellation error is returned.
 func ImportPackCtx(ctx context.Context, sources ...string) (*FS, io.Closer, error) {
+	return importPackCtx(ctx, false, sources...)
+}
+
+// ImportPackVerified is ImportPack with end-to-end read verification:
+// every member reader folds the payload through FNV-64a as it streams
+// and fails the read with ErrCorrupt — stage "verify", file = member
+// name — if the bytes do not match the checksum the pack index recorded
+// at export. The cost is one extra hash pass over whatever is actually
+// read; unread members cost nothing. This is the `-verify-reads` mode:
+// on-disk corruption (a flipped bit, a torn write) surfaces as a loud
+// typed failure at the first scan that touches it, instead of silently
+// skewing results.
+func ImportPackVerified(sources ...string) (*FS, io.Closer, error) {
+	return ImportPackVerifiedCtx(context.Background(), sources...)
+}
+
+// ImportPackVerifiedCtx is ImportPackVerified with cancellation,
+// checked at the same points as ImportPackCtx.
+func ImportPackVerifiedCtx(ctx context.Context, sources ...string) (*FS, io.Closer, error) {
+	return importPackCtx(ctx, true, sources...)
+}
+
+func importPackCtx(ctx context.Context, verified bool, sources ...string) (*FS, io.Closer, error) {
 	paths, err := resolvePackPaths(ctx, sources...)
 	if err != nil {
 		return nil, nil, err
@@ -160,9 +185,13 @@ func ImportPackCtx(ctx context.Context, sources ...string) (*FS, io.Closer, erro
 			m := m
 			// Locality (shard path + member offset) lets fused scans read
 			// each pack front to back instead of seeking per member.
-			f := NewContentFile(m.Name, m.Size, func() io.Reader {
-				return p.SectionReader(m)
-			}).WithLocality(p.Path(), m.Offset)
+			open := func() io.Reader { return p.SectionReader(m) }
+			if verified {
+				open = func() io.Reader {
+					return &verifyReader{r: p.SectionReader(m), name: m.Name, size: m.Size, want: m.Checksum, h: fnv.New64a()}
+				}
+			}
+			f := NewContentFile(m.Name, m.Size, open).WithLocality(p.Path(), m.Offset)
 			if err := fs.Add(f); err != nil {
 				set.Close()
 				return nil, nil, fmt.Errorf("vfs: import pack %s: %w", p.Path(), err)
@@ -170,6 +199,60 @@ func ImportPackCtx(ctx context.Context, sources ...string) (*FS, io.Closer, erro
 		}
 	}
 	return fs, set, nil
+}
+
+// verifyReader streams a pack member while folding its FNV-64a sum,
+// checking it against the indexed checksum the moment the payload is
+// fully delivered. The check fires exactly once, on whichever Read
+// completes the payload (or hits EOF), so a scanner that consumes the
+// member sees either fully-verified bytes followed by EOF, or a typed
+// ErrCorrupt naming the member.
+type verifyReader struct {
+	r       io.Reader
+	name    string
+	want    uint64
+	h       hash.Hash64
+	n       int64
+	size    int64
+	checked bool
+	err     error // sticky verification failure
+}
+
+func (v *verifyReader) Read(p []byte) (int, error) {
+	// The failure is sticky: io.ReadFull-style consumers drop an error
+	// delivered alongside the final bytes, so every later Read must
+	// repeat it rather than answer EOF.
+	if v.err != nil {
+		return 0, v.err
+	}
+	n, err := v.r.Read(p)
+	if n > 0 {
+		v.h.Write(p[:n])
+		v.n += int64(n)
+	}
+	if err == io.EOF || (err == nil && v.n >= v.size) {
+		if cerr := v.check(); cerr != nil {
+			v.err = cerr
+			return n, cerr
+		}
+	}
+	return n, err
+}
+
+func (v *verifyReader) check() error {
+	if v.checked {
+		return nil
+	}
+	v.checked = true
+	if v.n != v.size {
+		return errs.StageFile("verify", v.name,
+			errs.Corrupt("vfs: member %q delivered %d bytes, index says %d", v.name, v.n, v.size))
+	}
+	if sum := v.h.Sum64(); sum != v.want {
+		return errs.StageFile("verify", v.name,
+			errs.Corrupt("vfs: member %q checksum %016x != indexed %016x", v.name, sum, v.want))
+	}
+	return nil
 }
 
 // resolvePackPaths expands pack sources — explicit files or directories

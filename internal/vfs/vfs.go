@@ -193,10 +193,14 @@ func readFull(f File, r io.Reader, buf []byte) ([]byte, error) {
 		return nil, fmt.Errorf("vfs: reading %q: %w", f.Name, err)
 	}
 	// The source must be exhausted: extra bytes are as corrupt as missing
-	// ones.
+	// ones. A non-EOF error here is the source's own verdict (verified
+	// pack readers report checksum mismatches on the drain read) and
+	// outranks the byte count.
 	var probe [1]byte
-	if m, _ := r.Read(probe[:]); m > 0 {
+	if m, perr := r.Read(probe[:]); m > 0 {
 		return nil, fmt.Errorf("vfs: file %q declared %d bytes but content has %d", f.Name, f.Size, n+m)
+	} else if perr != nil && perr != io.EOF {
+		return nil, fmt.Errorf("vfs: reading %q: %w", f.Name, perr)
 	}
 	return buf, nil
 }

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-nommap test-scandebug verify verify-quick bench bench-smoke bench-pack serve-smoke dist-smoke chaos-smoke clean
+.PHONY: all build test test-nommap test-scandebug verify verify-quick bench bench-smoke bench-pack bench-kernels serve-smoke dist-smoke chaos-smoke clean
 
 all: build
 
@@ -21,8 +21,10 @@ test-nommap:
 
 # test-scandebug runs the scan suite with recycled block buffers poisoned
 # (0xDB) so a kernel that retains a borrowed Block slice fails loudly.
+# internal/vfs rides along so the mapped imports (packs and -dir) are
+# exercised under the same poison build.
 test-scandebug:
-	$(GO) test -tags scandebug ./internal/scan
+	$(GO) test -tags scandebug ./internal/scan ./internal/vfs
 
 # verify is the tier-1 gate: vet clean and the full suite race-clean.
 # The ./... wildcard covers every package, including internal/packstore's
@@ -54,6 +56,15 @@ bench-smoke:
 # access) without rewriting BENCH.json.
 bench-pack:
 	$(GO) test -run '^$$' -bench Pack ./internal/packstore
+
+# bench-kernels regenerates BENCH.json and asserts the kernel-compute
+# acceptance ratios recorded in it (reworked multisearch vs the frozen
+# reference walk, fused scan vs raw read) via the committed-number tests.
+bench-kernels:
+	$(GO) run ./cmd/bench -out BENCH.json
+	$(GO) test -run 'TestBenchJSONKernelComputeAcceptance|TestBenchJSONZeroCopyAcceptance' -v .
+	grep -q '"multisearch_fast_vs_old"' BENCH.json
+	grep -q '"fused_scan_vs_raw_read"' BENCH.json
 
 # serve-smoke boots the resident corpus service against freshly packed
 # shards on an ephemeral port, exercises grep/measure/manifest/metrics

@@ -33,6 +33,7 @@ type benchChaos struct {
 type benchDoc struct {
 	Results []benchResult      `json:"results"`
 	Ratios  map[string]float64 `json:"ratios"`
+	Kernels []benchResult      `json:"kernels"`
 	Serve   benchServe         `json:"serve"`
 	Chaos   benchChaos         `json:"chaos"`
 }
@@ -87,6 +88,52 @@ func TestBenchJSONZeroCopyAcceptance(t *testing.T) {
 	doc.result(t, "RawReadFile200Files")
 }
 
+// TestBenchJSONKernelComputeAcceptance pins the kernel-compute rework:
+// BENCH.json carries the per-kernel hot-loop section (one Begin/Block/End
+// cycle over 1 MB, no engine, no delivery), and the reworked multi-pattern
+// searcher beats the frozen reference walk by at least 1.5x on the
+// production 8-pattern set. fused_scan_vs_raw_read — the other ratio this
+// pass is held to — is asserted in TestBenchJSONZeroCopyAcceptance.
+func TestBenchJSONKernelComputeAcceptance(t *testing.T) {
+	doc := loadBenchDoc(t)
+
+	kernels := make(map[string]benchResult, len(doc.Kernels))
+	for _, r := range doc.Kernels {
+		kernels[r.Name] = r
+	}
+	for _, name := range []string{
+		"KernelChecksumPerMB",
+		"KernelMatchPerMB",
+		"KernelStatsPerMB",
+		"KernelComplexityPerMB",
+		"MultiSearchReference8Patterns100kB",
+	} {
+		r, ok := kernels[name]
+		if !ok {
+			t.Errorf("BENCH.json kernels section missing %q", name)
+			continue
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s = %v ns/op, want > 0", name, r.NsPerOp)
+		}
+	}
+	// The single-block cycle must stay allocation-free beyond the kernels'
+	// fixed bookkeeping (per-file row append, match-count slab).
+	for _, name := range []string{"KernelChecksumPerMB", "KernelStatsPerMB"} {
+		if r, ok := kernels[name]; ok && r.AllocsPerOp > 2 {
+			t.Errorf("%s = %d allocs/op, want <= 2", name, r.AllocsPerOp)
+		}
+	}
+
+	ratio, ok := doc.Ratios["multisearch_fast_vs_old"]
+	if !ok {
+		t.Fatal("BENCH.json ratios missing multisearch_fast_vs_old")
+	}
+	if ratio < 1.5 {
+		t.Fatalf("multisearch_fast_vs_old = %.2f, want >= 1.5 (reworked searcher vs frozen reference walk)", ratio)
+	}
+}
+
 // TestBenchJSONRatiosPresent keeps the documented ratio keys stable;
 // README and CI reference them by name.
 func TestBenchJSONRatiosPresent(t *testing.T) {
@@ -98,6 +145,7 @@ func TestBenchJSONRatiosPresent(t *testing.T) {
 		"fused_scan_speedup_vs_multipass",
 		"fused_scan_vs_raw_read",
 		"multisearch_speedup_vs_8_searchers",
+		"multisearch_fast_vs_old",
 		"serve_vs_oneshot",
 		"dist_scan_vs_local",
 		"dist_scan_vs_local_1w",

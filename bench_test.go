@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/perfmodel"
 	"repro/internal/provision"
+	"repro/internal/scan"
 	"repro/internal/stats"
 	"repro/internal/textproc"
 	"repro/internal/vfs"
@@ -548,6 +549,47 @@ func BenchmarkCostCurve(b *testing.B) {
 // Retrieval-time experiment as a benchmark (the §1 output claim).
 func BenchmarkRetrievalSegmentation(b *testing.B) {
 	benchExperiment(b, "retrieval", "speedup_2M_to_100_files")
+}
+
+// --- Per-kernel compute: one kernel, one 1 MB block, no engine. ---
+// These are the hot-loop throughput numbers the kernel-compute rework is
+// held to; cmd/bench records the same cycle in BENCH.json's kernels
+// section.
+
+func benchKernelPerMB(b *testing.B, mk func() scan.Kernel) {
+	b.Helper()
+	text := corpus.NewGenerator(corpus.NewsStyle(), 6).Text(1 << 20)
+	src := scan.Source{Name: "kernel-1mb", Size: int64(len(text))}
+	k := mk()
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Begin(src)
+		k.Block(text)
+		k.End()
+	}
+}
+
+func BenchmarkKernelChecksumPerMB(b *testing.B) {
+	benchKernelPerMB(b, func() scan.Kernel { return scan.NewChecksum() })
+}
+
+func BenchmarkKernelMatchPerMB(b *testing.B) {
+	ms, err := textproc.NewMultiSearcher([]string{"the", "and", "president", "market", "city", "nation", "report", "error"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchKernelPerMB(b, func() scan.Kernel { return textproc.NewMatchKernel(ms) })
+}
+
+func BenchmarkKernelStatsPerMB(b *testing.B) {
+	benchKernelPerMB(b, func() scan.Kernel { return textproc.NewStatsKernel() })
+}
+
+func BenchmarkKernelComplexityPerMB(b *testing.B) {
+	tagger := textproc.NewTagger()
+	benchKernelPerMB(b, func() scan.Kernel { return workload.NewComplexityKernel(tagger) })
 }
 
 // Checksum throughput over the reshaping invariant check.

@@ -25,6 +25,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -95,11 +97,16 @@ type ChaosStats struct {
 
 // Output is the BENCH.json schema.
 type Output struct {
-	Results       []Result           `json:"results"`
-	Ratios        map[string]float64 `json:"ratios"`
-	CancelLatency CancelLatency      `json:"cancel_latency"`
-	Serve         ServeStats         `json:"serve"`
-	Chaos         ChaosStats         `json:"chaos"`
+	Results []Result           `json:"results"`
+	Ratios  map[string]float64 `json:"ratios"`
+	// Kernels isolates per-kernel compute: each entry feeds the same 1 MB
+	// block to one kernel's Begin/Block/End cycle with no engine, no I/O
+	// and no delivery — pure hot-loop throughput, the numbers the
+	// kernel-compute rework is held to.
+	Kernels       []Result      `json:"kernels"`
+	CancelLatency CancelLatency `json:"cancel_latency"`
+	Serve         ServeStats    `json:"serve"`
+	Chaos         ChaosStats    `json:"chaos"`
 }
 
 func benchItems(n int) []binpack.Item {
@@ -232,9 +239,23 @@ func measureCancelLatency(rounds int) CancelLatency {
 func main() {
 	out := flag.String("out", "BENCH.json", "output path for the JSON report")
 	snapshot := flag.Bool("snapshot", true, "also write a timestamped BENCH_<yyyymmdd>.json copy next to -out, accumulating the perf trajectory across PRs")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole benchmark run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run (go tool pprof)")
 	flag.Parse()
 	ctx, stop := cli.SignalContext()
 	defer stop()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	items := benchItems(10_000)
 	text := func() []byte {
@@ -292,13 +313,17 @@ func main() {
 	// Fused scan over a packed corpus — the zero-copy acceptance trio. The
 	// 200-file corpus is exported once as pack shards and as plain files:
 	//
-	//   - FusedScan200Files opens the shards memory-mapped; the engine
-	//     feeds all four kernels borrowed windows of the mapping (no block
-	//     buffers, no copies — the per-op allocations are the merge
-	//     frontier's amortised bookkeeping only).
+	//   - FusedScan200Files opens the shards memory-mapped and runs the
+	//     production kernel trio (checksum + match + the fused
+	//     stats/complexity kernel — the same assembly core.MeasureKernels
+	//     builds, computing the same four outputs through one shared
+	//     analyzer walk); the engine feeds the kernels borrowed windows of
+	//     the mapping (no block buffers, no copies — the per-op
+	//     allocations are the merge frontier's amortised bookkeeping only).
 	//   - MultipassScan200Files is the pre-zero-copy pipeline over the same
-	//     shards: a streaming pack import read once per kernel, four full
-	//     copies of the corpus through pooled block buffers.
+	//     shards: four separate kernels, a streaming pack import read once
+	//     per kernel, four full copies of the corpus through pooled block
+	//     buffers and two analyzer walks (separate stats and complexity).
 	//   - FusedScanChecksum200Files isolates delivery cost: the same
 	//     engine and mapped corpus with one byte-touching kernel, so what
 	//     remains beyond the checksum fold is the cost of getting bytes to
@@ -348,10 +373,17 @@ func main() {
 			workload.NewComplexityKernel(tagger),
 		}
 	}
+	fusedKernels := func() []scan.Kernel {
+		return []scan.Kernel{
+			scan.NewChecksum(),
+			textproc.NewMatchKernel(ms),
+			workload.NewStatsComplexityKernel(tagger),
+		}
+	}
 	add(run("FusedScan200Files", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if err := scan.Run(ctx, fusedSrcs, scan.Options{}, fourKernels()...); err != nil {
+			if err := scan.Run(ctx, fusedSrcs, scan.Options{}, fusedKernels()...); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -411,6 +443,41 @@ func main() {
 			for _, s := range searchers {
 				s.CountBytes(text)
 			}
+		}
+	}))
+
+	// Per-kernel compute: the same 1 MB of news-style text fed straight to
+	// each kernel's Begin/Block/End cycle — no engine, no delivery, pure
+	// hot loop. MultiSearchReference8Patterns100kB is the frozen pre-rework
+	// automaton walk over the exact MultiSearch8Patterns100kB input;
+	// multisearch_fast_vs_old is the rework's speedup against it.
+	addK := func(r Result) { o.Kernels = append(o.Kernels, r) }
+	kernelText := corpus.NewGenerator(corpus.NewsStyle(), 6).Text(1 << 20)
+	kernelSrc := scan.Source{Name: "kernel-1mb", Size: int64(len(kernelText))}
+	kernelBench := func(mk func() scan.Kernel) func(b *testing.B) {
+		return func(b *testing.B) {
+			k := mk()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.Begin(kernelSrc)
+				k.Block(kernelText)
+				k.End()
+			}
+		}
+	}
+	addK(run("KernelChecksumPerMB", kernelBench(func() scan.Kernel { return scan.NewChecksum() })))
+	addK(run("KernelMatchPerMB", kernelBench(func() scan.Kernel { return textproc.NewMatchKernel(ms) })))
+	addK(run("KernelStatsPerMB", kernelBench(func() scan.Kernel { return textproc.NewStatsKernel() })))
+	addK(run("KernelComplexityPerMB", kernelBench(func() scan.Kernel { return workload.NewComplexityKernel(tagger) })))
+	refMS, err := textproc.NewReferenceMultiSearcher(scanPatterns)
+	if err != nil {
+		fatal(err)
+	}
+	addK(run("MultiSearchReference8Patterns100kB", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			refMS.CountBytes(text)
 		}
 	}))
 
@@ -719,9 +786,19 @@ func main() {
 		// Below 1.0 means the mapped scan beats merely reading the files:
 		// no per-file opens, no per-file buffers.
 		"fused_scan_vs_raw_read": byName["FusedScanChecksum200Files"].NsPerOp / byName["RawReadFile200Files"].NsPerOp,
-		// One Aho–Corasick pass for 8 patterns vs 8 BMH passes.
+		// One automaton pass for 8 patterns vs 8 BMH passes.
 		"multisearch_speedup_vs_8_searchers": byName["SearcherPerPattern8x100kB"].NsPerOp / byName["MultiSearch8Patterns100kB"].NsPerOp,
 	}
+	kernelByName := make(map[string]Result, len(o.Kernels))
+	for _, r := range o.Kernels {
+		kernelByName[r.Name] = r
+	}
+	// The kernel-compute acceptance: the reworked multi-pattern searcher
+	// (bitap engine for small sets, restructured Aho–Corasick otherwise)
+	// against the frozen reference walk over the same input. CI asserts
+	// this stays above its floor.
+	o.Ratios["multisearch_fast_vs_old"] =
+		kernelByName["MultiSearchReference8Patterns100kB"].NsPerOp / byName["MultiSearch8Patterns100kB"].NsPerOp
 	// The resident-service acceptance: one sequential grep round-trip
 	// through the daemon (HTTP + JSON + admission) vs the direct library
 	// call over the same mapped sources. Near 1.0 means the envelope is
@@ -754,10 +831,11 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear, pack access 2048/64 %.2fx, fused scan %.2fx vs multipass, %.2fx of raw read, multisearch %.2fx vs 8 searchers, serve %.2fx of oneshot, dist %.2f/%.2f/%.2fx of local at 1/2/4 workers, faulted scan %.2fx of clean)\n",
+	fmt.Printf("wrote %s (firstfit %.2fx, subset-sum %.2fx vs linear, pack access 2048/64 %.2fx, fused scan %.2fx vs multipass, %.2fx of raw read, multisearch %.2fx vs 8 searchers, %.2fx vs old walk, serve %.2fx of oneshot, dist %.2f/%.2f/%.2fx of local at 1/2/4 workers, faulted scan %.2fx of clean)\n",
 		*out, o.Ratios["firstfit_speedup_vs_linear"], o.Ratios["subsetsum_speedup_vs_linear"],
 		o.Ratios["pack_random_access_2048_over_64"], o.Ratios["fused_scan_speedup_vs_multipass"],
 		o.Ratios["fused_scan_vs_raw_read"], o.Ratios["multisearch_speedup_vs_8_searchers"],
+		o.Ratios["multisearch_fast_vs_old"],
 		o.Ratios["serve_vs_oneshot"], o.Ratios["dist_scan_vs_local_1w"],
 		o.Ratios["dist_scan_vs_local_2w"], o.Ratios["dist_scan_vs_local_4w"],
 		o.Ratios["scan_with_faults_vs_clean"])
@@ -768,6 +846,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("snapshot %s\n", snapPath)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // materialise only live allocations in the profile
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -130,7 +130,13 @@ func main() {
 			defer closer.Close()
 		}
 	} else if *dir != "" {
-		fs, err = vfs.ImportDir(*dir)
+		// Unpacked corpora are memory-mapped per file, so -dir scans take
+		// the same zero-copy windowing as mapped packs.
+		var closer interface{ Close() error }
+		fs, closer, err = vfs.ImportDirMappedCtx(ctx, *dir)
+		if err == nil {
+			defer closer.Close()
+		}
 	} else {
 		var spec corpus.Spec
 		switch *specName {

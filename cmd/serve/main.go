@@ -67,7 +67,13 @@ func main() {
 			defer closer.Close()
 		}
 	case *dir != "":
-		fs, err = vfs.ImportDir(*dir)
+		// Per-file mappings give -dir corpora the same zero-copy scan
+		// path as mapped packs; hold them for the server's lifetime.
+		var closer interface{ Close() error }
+		fs, closer, err = vfs.ImportDirMappedCtx(ctx, *dir)
+		if err == nil {
+			defer closer.Close()
+		}
 	default:
 		var spec corpus.Spec
 		switch *specName {

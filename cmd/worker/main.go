@@ -72,7 +72,13 @@ func main() {
 			defer closer.Close()
 		}
 	case *dir != "":
-		fs, err = vfs.ImportDir(*dir)
+		// Map each file so assigned-shard scans run zero-copy, exactly
+		// like the mapped-pack path above.
+		var closer interface{ Close() error }
+		fs, closer, err = vfs.ImportDirMappedCtx(ctx, *dir)
+		if err == nil {
+			defer closer.Close()
+		}
 	default:
 		var spec corpus.Spec
 		switch *specName {

@@ -1,0 +1,91 @@
+package packstore
+
+import (
+	"fmt"
+	"os"
+)
+
+// FileMapping is one regular file's complete content as a read-only
+// borrowed view — memory-mapped where the platform supports it, and
+// heap-materialised behind the packstore_nommap tag or when the mapping
+// itself fails (same degradation contract as the pack Reader). The file
+// descriptor is released before MapFile returns: a mapping needs no fd,
+// and the fallback has already read everything.
+//
+// This is the unpacked-corpus sibling of the pack Reader's MemberBytes:
+// vfs.ImportDirMapped attaches one FileMapping per corpus file so -dir
+// corpora take the same zero-copy scan path as mapped packs.
+type FileMapping struct {
+	path   string
+	data   []byte
+	mapped bool
+	closed bool
+}
+
+// MapFile maps the regular file at path read-only, sized by stat at open
+// time. Zero-length files yield a valid mapping with nil Data.
+func MapFile(path string) (*FileMapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if !info.Mode().IsRegular() {
+		return nil, fmt.Errorf("packstore: map %s: not a regular file", path)
+	}
+	data, mapped, err := mapFile(f, info.Size())
+	if err != nil {
+		return nil, fmt.Errorf("packstore: map %s: %w", path, err)
+	}
+	return &FileMapping{path: path, data: data, mapped: mapped}, nil
+}
+
+// Data returns the file's bytes as a borrowed view, valid until Close.
+// Callers must treat it as immutable.
+func (m *FileMapping) Data() []byte {
+	if m.closed {
+		return nil
+	}
+	return m.data
+}
+
+// Mapped reports whether the view is a real memory mapping (false on the
+// heap fallback). Introspection for tests; both paths behave identically.
+func (m *FileMapping) Mapped() bool { return m.mapped }
+
+// Closed reports whether the mapping has been released. Importers check
+// it so post-close streaming reads fail loudly instead of touching a
+// dead mapping.
+func (m *FileMapping) Closed() bool { return m.closed }
+
+// AdviseSequential hints read-ahead for a front-to-back scan of the
+// mapping. Best effort: a no-op on the heap fallback, and errors are
+// advisory.
+func (m *FileMapping) AdviseSequential() error {
+	if m.closed || !m.mapped {
+		return nil
+	}
+	return adviseSequential(m.data)
+}
+
+// Close releases the mapping. Views obtained from Data are invalid
+// afterwards. Close is idempotent.
+func (m *FileMapping) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	data := m.data
+	m.data = nil
+	if !m.mapped {
+		return nil
+	}
+	if err := unmapFile(data); err != nil {
+		return fmt.Errorf("packstore: unmap %s: %w", m.path, err)
+	}
+	return nil
+}

@@ -10,7 +10,22 @@ const (
 	fnvPrime64  = 0x100000001b3
 )
 
+// fnvFold advances the running FNV-64a state over p. The hash is one
+// serial xor-multiply chain — unrolling cannot overlap the multiplies —
+// but consuming eight bytes per iteration removes seven loop-bound checks
+// and branches per chain step, bit-identical to the byte loop.
 func fnvFold(h uint64, p []byte) uint64 {
+	for len(p) >= 8 {
+		h = (h ^ uint64(p[0])) * fnvPrime64
+		h = (h ^ uint64(p[1])) * fnvPrime64
+		h = (h ^ uint64(p[2])) * fnvPrime64
+		h = (h ^ uint64(p[3])) * fnvPrime64
+		h = (h ^ uint64(p[4])) * fnvPrime64
+		h = (h ^ uint64(p[5])) * fnvPrime64
+		h = (h ^ uint64(p[6])) * fnvPrime64
+		h = (h ^ uint64(p[7])) * fnvPrime64
+		p = p[8:]
+	}
 	for _, b := range p {
 		h = (h ^ uint64(b)) * fnvPrime64
 	}

@@ -16,11 +16,12 @@ import (
 	"repro/internal/scan"
 )
 
-// BlockSizes are the streaming windows conformance runs at: a
-// pathologically small window (every multi-byte token straddles a
-// boundary), the page-ish window, and one larger than any sample file
+// BlockSizes are the streaming windows conformance runs at: one byte at
+// a time (every state transition crosses a Block boundary), tiny prime
+// windows that misalign multi-byte tokens and the kernels' word-at-a-time
+// fast paths, the page-ish window, and one larger than any sample file
 // (the whole file in one Block call).
-var BlockSizes = []int{3, 4096, 1 << 20}
+var BlockSizes = []int{1, 3, 7, 4096, 1 << 20}
 
 // SampleContents returns a corpus exercising the usual hazards: an empty
 // file, boundary-straddling tokens, multi-byte runes, sentence

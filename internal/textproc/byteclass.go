@@ -63,6 +63,34 @@ func buildFoldTable() (t [256]byte) {
 	return t
 }
 
+// streamClass is the stream analyzer's fused dispatch table: the
+// classTable bits pre-resolved into the analyzer's own branch targets, so
+// Block's dispatch is one load and one jump per byte instead of a chain
+// of classTable tests. '\n' gets its own class because it is the only
+// whitespace byte with a side effect (the line counter).
+const (
+	scOther   uint8 = iota // opens a rune chunk (incl. bytes >= 0x80)
+	scWord                 // continues/starts a word token
+	scSpace                // ' ', '\t', '\r'
+	scNewline              // '\n'
+)
+
+var streamClass = buildStreamClass()
+
+func buildStreamClass() (t [256]uint8) {
+	for c := 0; c < 256; c++ {
+		switch {
+		case classTable[c]&ClassWord != 0:
+			t[c] = scWord
+		case byte(c) == '\n':
+			t[c] = scNewline
+		case classTable[c]&ClassSpace != 0:
+			t[c] = scSpace
+		}
+	}
+	return t
+}
+
 // Classes returns the class bits for a byte.
 func Classes(c byte) uint8 { return classTable[c] }
 

@@ -1,0 +1,144 @@
+package textproc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSearcherSets covers both engines and both folding modes: a small
+// set the bitap engine takes, the same set forced onto the reworked AC
+// walk, and folded variants. The reference walk is the oracle.
+func fuzzSearcherSets() []struct {
+	name     string
+	patterns []string
+	folded   bool
+} {
+	return []struct {
+		name     string
+		patterns []string
+		folded   bool
+	}{
+		{"bitap", []string{"the", "fox", "ab", "ba"}, false},
+		{"bitap-folded", []string{"The", "fox", "aB"}, true},
+		{"ac", []string{"the", "theme", "he", "hem", "emit", "mit", "it", "t", "\xff\x00", "brown fox"}, false},
+		{"ac-folded", []string{"The", "THEME", "He", "heM", "Emit", "miT", "It", "T", "brown Fox"}, true},
+	}
+}
+
+// FuzzMultiSearcherBlockSplit pins block-split invariance for both
+// searcher engines: feeding arbitrary bytes through Feed in blocks of
+// any size yields exactly the counts of one contiguous feed, and both
+// equal the frozen reference walk.
+func FuzzMultiSearcherBlockSplit(f *testing.F) {
+	f.Add([]byte("the quick brown fox themes the theme"), byte(3))
+	f.Add([]byte("THE THEME emits; aB ba ab"), byte(1))
+	f.Add([]byte("\xff\x00\xff\x00the\xfft"), byte(2))
+	f.Add([]byte(""), byte(7))
+	f.Add(bytes.Repeat([]byte("thethemit"), 40), byte(5))
+	f.Fuzz(func(t *testing.T, data []byte, bsRaw byte) {
+		bs := 1 + int(bsRaw)%13
+		for _, set := range fuzzSearcherSets() {
+			newFast := NewMultiSearcher
+			newRef := NewReferenceMultiSearcher
+			if set.folded {
+				newFast = NewFoldedMultiSearcher
+				newRef = NewFoldedReferenceMultiSearcher
+			}
+			m, err := newFast(set.patterns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forced, err := newFast(set.patterns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := newRef(set.patterns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forced.bitap = false // exercise the AC walk even on small sets
+
+			want := make([]int64, ref.NumPatterns())
+			ref.Feed(ref.Start(), data, want)
+
+			for name, s := range map[string]*MultiSearcher{"fast": m, "forced-ac": forced} {
+				whole := make([]int64, s.NumPatterns())
+				s.Feed(s.Start(), data, whole)
+				if !equalInt64s(whole, want) {
+					t.Fatalf("%s/%s contiguous feed: got %v want %v", set.name, name, whole, want)
+				}
+				split := make([]int64, s.NumPatterns())
+				st := s.Start()
+				for i := 0; i < len(data); i += bs {
+					end := i + bs
+					if end > len(data) {
+						end = len(data)
+					}
+					st = s.Feed(st, data[i:end], split)
+				}
+				if !equalInt64s(split, want) {
+					t.Fatalf("%s/%s block size %d: got %v want %v", set.name, name, bs, split, want)
+				}
+			}
+		}
+	})
+}
+
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzStreamAnalyzerBlockSplit pins block-split invariance for the fused
+// stats/complexity analyzer: stats, line count and the emitted word
+// sequence are identical whether the input arrives whole or in blocks of
+// any size — every word-run, chunk and sentence carry must survive the
+// boundary.
+func FuzzStreamAnalyzerBlockSplit(f *testing.F) {
+	f.Add([]byte("The quick brown fox. It jumps!\nhéllo wörld's end"), byte(3))
+	f.Add([]byte("a"), byte(1))
+	f.Add([]byte("\xc3\xa9\xc3\xa9 abc\xc3"), byte(2))
+	f.Add(bytes.Repeat([]byte("word "), 30), byte(7))
+	f.Add([]byte("...!?\n\n  \t"), byte(4))
+	f.Fuzz(func(t *testing.T, data []byte, bsRaw byte) {
+		bs := 1 + int(bsRaw)%13
+		feed := func(blocks bool) (TextStats, int64, string) {
+			var words bytes.Buffer
+			a := NewStreamAnalyzer(func(w []byte) {
+				words.Write(w)
+				words.WriteByte(0)
+			})
+			if blocks {
+				for i := 0; i < len(data); i += bs {
+					end := i + bs
+					if end > len(data) {
+						end = len(data)
+					}
+					a.Block(data[i:end])
+				}
+			} else {
+				a.Block(data)
+			}
+			st, lines := a.Finish()
+			return st, lines, words.String()
+		}
+		wantSt, wantLines, wantWords := feed(false)
+		gotSt, gotLines, gotWords := feed(true)
+		if gotSt != wantSt {
+			t.Fatalf("block size %d: stats %+v, contiguous %+v", bs, gotSt, wantSt)
+		}
+		if gotLines != wantLines {
+			t.Fatalf("block size %d: lines %d, contiguous %d", bs, gotLines, wantLines)
+		}
+		if gotWords != wantWords {
+			t.Fatalf("block size %d: words %q, contiguous %q", bs, gotWords, wantWords)
+		}
+	})
+}

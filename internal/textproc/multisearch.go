@@ -1,31 +1,71 @@
 package textproc
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"math/bits"
 )
 
 // MultiSearcher counts occurrences of N literal patterns in one pass over
-// the haystack — an Aho–Corasick automaton with a dense byte-transition
-// table, so matching costs one table lookup per input byte regardless of
-// how many patterns are registered. Counting semantics match Searcher
-// exactly: every occurrence is counted, overlaps included, and the folded
-// variant lowercases ASCII letters on both sides.
+// the haystack. Counting semantics match Searcher exactly: every
+// occurrence is counted, overlaps included, and the folded variant
+// lowercases ASCII letters on both sides.
 //
-// The automaton state is the entire cross-block carry: feeding a stream
-// in arbitrary block splits yields the same counts as one contiguous
-// buffer, because a match straddling a boundary is simply an automaton
-// path that crosses a Feed call. No input bytes are ever re-buffered.
+// The matcher state is the entire cross-block carry: feeding a stream in
+// arbitrary block splits yields the same counts as one contiguous buffer,
+// because a match straddling a boundary is simply a matcher position that
+// crosses a Feed call. No input bytes are ever re-buffered.
+//
+// Two engines share that contract (DESIGN.md §12):
+//
+//   - bitap (shift-and), used when the patterns' total length fits the 64
+//     bit positions of one machine word. Per input byte the whole matcher
+//     is D = ((D<<1)|init) & masks[c]: a ~3-cycle ALU chain with the mask
+//     load off the critical path (its address depends only on the input
+//     byte, not on D), where an automaton walk pays load-to-use latency
+//     on every byte because the next row address depends on the state
+//     just loaded.
+//
+//   - Aho–Corasick with a dense byte-transition table, for pattern sets
+//     too large for bitap. States are renumbered breadth-first and the
+//     table is split hot/cold: the first 256 near-root states interleave
+//     byte-major (hot[c<<8|s], padded to a full 256x256 so indexing is a
+//     shift) so one input byte's candidate transitions share cache
+//     lines, deeper states keep the classic state-major rows. Output sets are flattened into one offsets+flat
+//     pair behind a per-state has-output bitmap, so the common no-match
+//     byte is one transition load plus one bit test — never a
+//     slice-header load. At the root, a skip loop jumps over bytes that
+//     cannot start any pattern (bytes.IndexByte when only one byte can),
+//     off the table-walk dependency chain entirely.
 type MultiSearcher struct {
 	patterns []string
 	folded   bool
-	next     [][256]int32 // dense goto: next[state][byte] -> state
-	out      [][]int32    // pattern indices completed upon entering state
+
+	// bitap engine (eligible pattern sets only).
+	bitap     bool
+	masks     [256]uint64 // bit j set iff pattern byte at position j matches input byte c
+	initMask  uint64      // bits at each pattern's first position
+	matchMask uint64      // bits at each pattern's last position
+	bitPat    [64]int16   // match bit position -> pattern index
+
+	// Aho–Corasick engine (always built; the only engine for large sets).
+	hotN int32           // states resident in the byte-major interleaved region
+	hot  *[1 << 16]int32 // hot[int(c)<<8|int(s)] for s < 256 (padded to a full 256x256)
+	cold []int32         // cold[(int(s)-256)<<8 | int(c)] for s >= 256
+
+	hasOut  []uint64 // bit s set iff state s completes at least one pattern
+	outOff  []int32  // per-state offset into outFlat (len = numStates+1)
+	outFlat []int32  // flattened pattern indices, outFlat[outOff[s]:outOff[s+1]]
+
+	rootSkip  [256]bool // true iff the byte's root transition stays at the root
+	soloStart int16     // the single start byte when IndexByte can skip, else -1
 }
 
-// MatchState is an automaton position carried across Feed calls. The zero
-// value, returned by Start, is the initial state.
-type MatchState int32
+// MatchState is a matcher position carried across Feed calls. The zero
+// value, returned by Start, is the initial state. States are only
+// meaningful to the searcher that produced them.
+type MatchState uint64
 
 // NewMultiSearcher builds a case-sensitive multi-pattern searcher. At
 // least one pattern is required and none may be empty.
@@ -40,22 +80,20 @@ func NewFoldedMultiSearcher(patterns []string) (*MultiSearcher, error) {
 	return newMultiSearcher(patterns, true)
 }
 
-func newMultiSearcher(patterns []string, folded bool) (*MultiSearcher, error) {
+// buildAutomaton runs the trie + BFS/failure-link phases shared by the
+// production searcher and the frozen reference: a dense goto table and
+// per-state output sets, with fail chains already collapsed so matching
+// never walks them. Node 0 is the root; a zero edge means "absent".
+func buildAutomaton(patterns []string, folded bool) (next [][256]int32, out [][]int32, err error) {
 	if len(patterns) == 0 {
-		return nil, fmt.Errorf("textproc: multi-searcher needs at least one pattern")
-	}
-	m := &MultiSearcher{
-		patterns: append([]string(nil), patterns...),
-		folded:   folded,
+		return nil, nil, fmt.Errorf("textproc: multi-searcher needs at least one pattern")
 	}
 
-	// Trie phase. Node 0 is the root; a zero edge means "absent" (the root
-	// can never be a child).
 	trie := [][256]int32{{}}
-	out := [][]int32{nil}
+	out = [][]int32{nil}
 	for pi, p := range patterns {
 		if p == "" {
-			return nil, fmt.Errorf("textproc: empty search pattern at index %d", pi)
+			return nil, nil, fmt.Errorf("textproc: empty search pattern at index %d", pi)
 		}
 		cur := int32(0)
 		for i := 0; i < len(p); i++ {
@@ -76,10 +114,9 @@ func newMultiSearcher(patterns []string, folded bool) (*MultiSearcher, error) {
 	}
 
 	// BFS phase: failure links collapse into a dense goto table, and each
-	// state's output set absorbs its failure state's outputs, so matching
-	// never walks fail chains at scan time.
+	// state's output set absorbs its failure state's outputs.
 	fail := make([]int32, len(trie))
-	next := make([][256]int32, len(trie))
+	next = make([][256]int32, len(trie))
 	queue := make([]int32, 0, len(trie))
 	for c := 0; c < 256; c++ {
 		v := trie[0][c]
@@ -102,9 +139,164 @@ func newMultiSearcher(patterns []string, folded bool) (*MultiSearcher, error) {
 			}
 		}
 	}
-	m.next = next
-	m.out = out
+	return next, out, nil
+}
+
+// bfsOrder returns the breadth-first visit order of the automaton's
+// states starting at the root — the construction queue's discovery order,
+// which puts shallow (frequently visited) states first.
+func bfsOrder(next [][256]int32) []int32 {
+	order := make([]int32, 0, len(next))
+	order = append(order, 0)
+	seen := make([]bool, len(next))
+	seen[0] = true
+	for qi := 0; qi < len(order); qi++ {
+		u := order[qi]
+		for c := 0; c < 256; c++ {
+			// Only trie edges discover new states; collapsed fail edges
+			// point at already-shallower states.
+			if v := next[u][c]; v != 0 && !seen[v] {
+				seen[v] = true
+				order = append(order, v)
+			}
+		}
+	}
+	return order
+}
+
+func newMultiSearcher(patterns []string, folded bool) (*MultiSearcher, error) {
+	next, out, err := buildAutomaton(patterns, folded)
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiSearcher{
+		patterns: append([]string(nil), patterns...),
+		folded:   folded,
+	}
+	m.buildAC(next, out)
+	m.buildBitap()
 	return m, nil
+}
+
+// buildAC lays the automaton out for the hot loop: BFS renumbering,
+// hot/cold table split, flattened outputs behind the bitmap, and the
+// root-skip configuration.
+func (m *MultiSearcher) buildAC(next [][256]int32, out [][]int32) {
+	// Renumber breadth-first: near-root states get the low ids, so the hot
+	// interleaved region naturally covers where text automata live.
+	order := bfsOrder(next)
+	n := len(next)
+	newID := make([]int32, n)
+	for ni, old := range order {
+		newID[old] = int32(ni)
+	}
+
+	// The hot region is padded to a full 256x256 so the index is a
+	// shift+or (no multiply, no per-automaton scaling); padding rows are
+	// unreachable because every stored transition is a valid state id.
+	hotN := n
+	if hotN > 256 {
+		hotN = 256
+	}
+	m.hotN = int32(hotN)
+	m.hot = new([1 << 16]int32)
+	if n > hotN {
+		m.cold = make([]int32, (n-hotN)*256)
+	}
+	for newS := 0; newS < n; newS++ {
+		row := &next[order[newS]]
+		if newS < hotN {
+			for c := 0; c < 256; c++ {
+				m.hot[c<<8|newS] = newID[row[c]]
+			}
+		} else {
+			base := (newS - hotN) << 8
+			for c := 0; c < 256; c++ {
+				m.cold[base|c] = newID[row[c]]
+			}
+		}
+	}
+
+	// Flatten the output sets in the new numbering and mark states that
+	// complete patterns in the bitmap.
+	m.hasOut = make([]uint64, (n+63)/64)
+	m.outOff = make([]int32, n+1)
+	for newS := 0; newS < n; newS++ {
+		o := out[order[newS]]
+		m.outOff[newS+1] = m.outOff[newS] + int32(len(o))
+		if len(o) > 0 {
+			m.hasOut[newS>>6] |= 1 << (uint(newS) & 63)
+		}
+	}
+	m.outFlat = make([]int32, m.outOff[n])
+	for newS := 0; newS < n; newS++ {
+		copy(m.outFlat[m.outOff[newS]:], out[order[newS]])
+	}
+
+	// Root skip setup: mark the bytes whose root transition stays at the
+	// root. When exactly one byte can leave it — and, for folded
+	// searchers, only when no other input byte folds onto that byte — the
+	// skip loop can be bytes.IndexByte instead of a per-byte table test.
+	m.soloStart = -1
+	var startBytes []byte
+	for c := 0; c < 256; c++ {
+		if m.hot[c<<8] == 0 { // root is state 0 in both numberings
+			m.rootSkip[c] = true
+		} else {
+			startBytes = append(startBytes, byte(c))
+		}
+	}
+	if len(startBytes) == 1 {
+		b := startBytes[0]
+		// Folded automata are built over folded bytes, so the trie edge is
+		// on the lowercase form; IndexByte over the raw input is only
+		// correct when folding is the identity both ways at b (no 'A'-'Z'
+		// input maps onto it, and b maps to itself).
+		if !m.folded || (foldTable[b] == b && !(b >= 'a' && b <= 'z')) {
+			m.soloStart = int16(b)
+		}
+	}
+}
+
+// buildBitap enables the shift-and engine when every pattern position
+// fits one 64-bit word. Patterns pack contiguously with no guard bits:
+// the top (match) bit of pattern i-1 shifts into pattern i's first
+// position, but initMask sets that position unconditionally anyway, so
+// the leak is harmless.
+func (m *MultiSearcher) buildBitap() {
+	total := 0
+	for _, p := range m.patterns {
+		total += len(p)
+	}
+	if total > 64 {
+		return
+	}
+	off := 0
+	for pi, p := range m.patterns {
+		m.initMask |= 1 << uint(off)
+		for j := 0; j < len(p); j++ {
+			pc := p[j]
+			if m.folded {
+				pc = foldTable[pc]
+			}
+			// Index masks by the raw input byte, folding at build time:
+			// every byte c that folds onto pc matches this position, so
+			// the hot loop needs no per-byte fold load.
+			for c := 0; c < 256; c++ {
+				ic := byte(c)
+				if m.folded {
+					ic = foldTable[ic]
+				}
+				if ic == pc {
+					m.masks[c] |= 1 << uint(off+j)
+				}
+			}
+		}
+		off += len(p)
+		m.bitPat[off-1] = int16(pi)
+		m.matchMask |= 1 << uint(off-1)
+	}
+	m.bitap = true
 }
 
 // NumPatterns returns how many patterns the searcher matches; counts
@@ -115,35 +307,155 @@ func (m *MultiSearcher) NumPatterns() int { return len(m.patterns) }
 // every counts slice). The slice is owned by the searcher.
 func (m *MultiSearcher) Patterns() []string { return m.patterns }
 
-// Start returns the initial automaton state for a new stream.
+// Start returns the initial matcher state for a new stream.
 func (m *MultiSearcher) Start() MatchState { return 0 }
 
-// Feed advances the automaton over p, incrementing counts[i] once per
+// Feed advances the matcher over p, incrementing counts[i] once per
 // occurrence of pattern i that ends within p (overlaps included), and
 // returns the state to pass to the next Feed. Splitting a stream into
 // blocks at any boundaries yields the same counts as one contiguous
 // buffer.
 func (m *MultiSearcher) Feed(st MatchState, p []byte, counts []int64) MatchState {
-	s := int32(st)
-	next, out := m.next, m.out
+	if m.bitap {
+		return MatchState(m.feedBitap(uint64(st), p, counts))
+	}
 	if m.folded {
-		// foldTable is the shared fold rule: one load per byte instead of a
-		// compare pair, and provably the same mapping the trie was built with.
-		for _, c := range p {
-			s = next[s][foldTable[c]]
-			for _, pi := range out[s] {
-				counts[pi]++
+		return MatchState(m.feedFolded(int32(st), p, counts))
+	}
+	return MatchState(m.feedExact(int32(st), p, counts))
+}
+
+// feedBitap is the shift-and hot loop. D's bit off_i+j means "the first
+// j+1 bytes of pattern i end here"; matchMask picks out the completed
+// patterns, almost always zero.
+func (m *MultiSearcher) feedBitap(d uint64, p []byte, counts []int64) uint64 {
+	masks := &m.masks
+	init, match := m.initMask, m.matchMask
+	for _, c := range p {
+		d = ((d << 1) | init) & masks[c]
+		if mm := d & match; mm != 0 {
+			for {
+				counts[m.bitPat[bits.TrailingZeros64(mm)]]++
+				mm &= mm - 1
+				if mm == 0 {
+					break
+				}
 			}
 		}
-	} else {
+	}
+	return d
+}
+
+// feedExact is the case-sensitive automaton hot loop: per byte, one
+// transition load (hot region interleaved byte-major) and one has-output
+// bit test. When a single byte value can start a pattern, root-state runs
+// collapse to one vectorized bytes.IndexByte call; with several start
+// bytes the root's own table row is already off the load-to-use chain
+// (its address depends only on the input byte), so no skip loop can beat
+// simply walking it. Automata that fit the hot region with no solo byte —
+// the common multi-pattern shape — take a branch-free tight loop instead
+// of paying the solo/cold tests on every byte.
+func (m *MultiSearcher) feedExact(s int32, p []byte, counts []int64) int32 {
+	hot := m.hot
+	hasOut := m.hasOut
+	if m.cold == nil && m.soloStart < 0 {
 		for _, c := range p {
-			s = next[s][c]
-			for _, pi := range out[s] {
+			s = hot[int(c)<<8|int(s)]
+			if hasOut[s>>6]&(1<<(uint(s)&63)) != 0 {
+				for _, pi := range m.outFlat[m.outOff[s]:m.outOff[s+1]] {
+					counts[pi]++
+				}
+			}
+		}
+		return s
+	}
+	cold := m.cold
+	solo := m.soloStart
+	i, n := 0, len(p)
+	for i < n {
+		if s == 0 && solo >= 0 {
+			j := bytes.IndexByte(p[i:], byte(solo))
+			if j < 0 {
+				break
+			}
+			i += j
+		}
+		c := p[i]
+		i++
+		if s < 256 {
+			s = hot[int(c)<<8|int(s)]
+		} else {
+			s = cold[(int(s)-256)<<8|int(c)]
+		}
+		if hasOut[s>>6]&(1<<(uint(s)&63)) != 0 {
+			for _, pi := range m.outFlat[m.outOff[s]:m.outOff[s+1]] {
 				counts[pi]++
 			}
 		}
 	}
-	return MatchState(s)
+	return s
+}
+
+// feedFolded is feedExact with the shared fold table applied per byte —
+// one extra load, and exactly the mapping the trie was built with. The
+// IndexByte skip stays sound because soloStart is only set for folded
+// searchers when the byte is fold-invariant.
+func (m *MultiSearcher) feedFolded(s int32, p []byte, counts []int64) int32 {
+	hot := m.hot
+	hasOut := m.hasOut
+	if m.cold == nil && m.soloStart < 0 {
+		for _, raw := range p {
+			c := foldTable[raw]
+			s = hot[int(c)<<8|int(s)]
+			if hasOut[s>>6]&(1<<(uint(s)&63)) != 0 {
+				for _, pi := range m.outFlat[m.outOff[s]:m.outOff[s+1]] {
+					counts[pi]++
+				}
+			}
+		}
+		return s
+	}
+	cold := m.cold
+	solo := m.soloStart
+	i, n := 0, len(p)
+	for i < n {
+		if s == 0 && solo >= 0 {
+			j := bytes.IndexByte(p[i:], byte(solo))
+			if j < 0 {
+				break
+			}
+			i += j
+		}
+		c := foldTable[p[i]]
+		i++
+		if s < 256 {
+			s = hot[int(c)<<8|int(s)]
+		} else {
+			s = cold[(int(s)-256)<<8|int(c)]
+		}
+		if hasOut[s>>6]&(1<<(uint(s)&63)) != 0 {
+			for _, pi := range m.outFlat[m.outOff[s]:m.outOff[s+1]] {
+				counts[pi]++
+			}
+		}
+	}
+	return s
+}
+
+// NumStates returns the automaton's state count (root included) — layout
+// introspection for tests and capacity planning, not needed for matching.
+func (m *MultiSearcher) NumStates() int { return len(m.outOff) - 1 }
+
+// startBytes returns how many distinct bytes can start a pattern; used by
+// tests pinning the skip-loop setup.
+func (m *MultiSearcher) startBytes() int {
+	total := 0
+	for c := 0; c < 256; c++ {
+		if !m.rootSkip[c] {
+			total++
+		}
+	}
+	return total
 }
 
 // CountBytes counts every occurrence of every pattern in data, returning
@@ -155,9 +467,9 @@ func (m *MultiSearcher) CountBytes(data []byte) []int64 {
 	return counts
 }
 
-// CountReader streams r through the automaton and returns per-pattern
+// CountReader streams r through the matcher and returns per-pattern
 // counts. The window is recycled from the shared grep pool; nothing is
-// carried between blocks except the automaton state.
+// carried between blocks except the matcher state.
 func (m *MultiSearcher) CountReader(r io.Reader) ([]int64, error) {
 	counts := make([]int64, len(m.patterns))
 	bp := windowPool.Get().(*[]byte)

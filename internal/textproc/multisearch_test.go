@@ -106,3 +106,167 @@ func TestFoldedMultiSearcherFoldsASCIIOnly(t *testing.T) {
 		t.Fatalf("folded count = %d, want 3", got)
 	}
 }
+
+// randTexts builds a deterministic mix of pattern-dense and pattern-free
+// byte strings (including non-ASCII bytes) for differential runs.
+func randTexts(patterns []string) [][]byte {
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	var texts [][]byte
+	for n := 0; n < 24; n++ {
+		size := int(next() % 3000)
+		buf := make([]byte, 0, size+16)
+		for len(buf) < size {
+			switch next() % 4 {
+			case 0: // embed a pattern, sometimes case-twisted
+				p := patterns[next()%uint64(len(patterns))]
+				for i := 0; i < len(p); i++ {
+					c := p[i]
+					if next()%3 == 0 && c >= 'a' && c <= 'z' {
+						c -= 'a' - 'A'
+					}
+					buf = append(buf, c)
+				}
+			case 1: // plain ASCII filler
+				buf = append(buf, byte('a'+next()%26))
+			case 2: // spaces and punctuation
+				buf = append(buf, " .,;\n\t!?"[next()%8])
+			default: // arbitrary bytes incl. >= 0x80
+				buf = append(buf, byte(next()))
+			}
+		}
+		texts = append(texts, buf)
+	}
+	texts = append(texts, nil, []byte("x"), bytes.Repeat([]byte{0xff, 0x00}, 512))
+	return texts
+}
+
+// TestMultiSearcherMatchesReference differentially pins the reworked hot
+// loop (bitmap, flat outputs, hot/cold interleave, root skip) against the
+// frozen pre-rework walk, exact and folded, contiguous and at hostile
+// block splits.
+func TestMultiSearcherMatchesReference(t *testing.T) {
+	patternSets := [][]string{
+		{"the"},                               // single pattern, single start byte
+		{"the", "and", "president", "market"}, // bench-style words
+		{"ab", "abab", "ba", "b", "aa"},       // dense overlaps
+		{"\xff\xfe", "\x00"},                  // non-ASCII start bytes
+		{"a", "A"},                            // fold-colliding pair
+	}
+	for _, patterns := range patternSets {
+		for _, folded := range []bool{false, true} {
+			ref, err := newReferenceMultiSearcher(patterns, folded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Both engines are pinned: the bitap searcher as constructed
+			// (all these sets are eligible), and the automaton engine by
+			// clearing the dispatch flag — the AC tables are always built.
+			for _, forceAC := range []bool{false, true} {
+				fast, err := newMultiSearcher(patterns, folded)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if forceAC {
+					fast.bitap = false
+				} else if !fast.bitap {
+					t.Fatalf("patterns %q should be bitap-eligible", patterns)
+				}
+				for ti, text := range randTexts(patterns) {
+					want := ref.CountBytes(text)
+					if got := fast.CountBytes(text); !equalCounts(got, want) {
+						t.Fatalf("patterns %q folded=%v forceAC=%v text #%d: fast %v, want %v",
+							patterns, folded, forceAC, ti, got, want)
+					}
+					for _, block := range []int{1, 3, 7, 64} {
+						counts := make([]int64, fast.NumPatterns())
+						st := fast.Start()
+						for off := 0; off < len(text); off += block {
+							end := off + block
+							if end > len(text) {
+								end = len(text)
+							}
+							st = fast.Feed(st, text[off:end], counts)
+						}
+						if !equalCounts(counts, want) {
+							t.Fatalf("patterns %q folded=%v forceAC=%v text #%d block=%d: fast %v, want %v",
+								patterns, folded, forceAC, ti, block, counts, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func equalCounts(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMultiSearcherSkipLoopSetup pins the root-skip configuration: a
+// single fold-invariant start byte enables IndexByte, a letter start byte
+// under folding must not (uppercase inputs fold onto it), and the start
+// set matches the distinct first bytes.
+func TestMultiSearcherSkipLoopSetup(t *testing.T) {
+	ms, _ := NewMultiSearcher([]string{"needle", "nose"})
+	if ms.soloStart != int16('n') || ms.startBytes() != 1 {
+		t.Fatalf("exact single start byte: soloStart=%d startBytes=%d, want 'n'/1",
+			ms.soloStart, ms.startBytes())
+	}
+	ms, _ = NewFoldedMultiSearcher([]string{"needle"})
+	if ms.soloStart != -1 {
+		t.Fatalf("folded letter start byte must not use IndexByte (misses 'N'), got soloStart=%d", ms.soloStart)
+	}
+	if got := ms.CountBytes([]byte("Needle needle NEEDLE")); got[0] != 3 {
+		t.Fatalf("folded skip loop count = %d, want 3", got[0])
+	}
+	ms, _ = NewFoldedMultiSearcher([]string{"0ops"})
+	if ms.soloStart != int16('0') {
+		t.Fatalf("folded non-letter start byte should use IndexByte, got soloStart=%d", ms.soloStart)
+	}
+	ms, _ = NewMultiSearcher([]string{"alpha", "beta", "gamma"})
+	if ms.soloStart != -1 || ms.startBytes() != 3 {
+		t.Fatalf("three start bytes: soloStart=%d startBytes=%d, want -1/3",
+			ms.soloStart, ms.startBytes())
+	}
+}
+
+// TestMultiSearcherHotColdBoundary forces an automaton bigger than the
+// hot region so the cold state-major table is exercised, and checks the
+// deep walk still matches the reference.
+func TestMultiSearcherHotColdBoundary(t *testing.T) {
+	// ~40 patterns x ~12 bytes ≈ 480 states: well past hotN=256.
+	var patterns []string
+	for i := 0; i < 40; i++ {
+		patterns = append(patterns, strings.Repeat(string(rune('a'+i%26)), 3)+"suffixtail"+string(rune('a'+i%26)))
+	}
+	fast, err := NewMultiSearcher(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.NumStates() <= int(fast.hotN) {
+		t.Fatalf("automaton too small to exercise cold table: %d states, hotN=%d",
+			fast.NumStates(), fast.hotN)
+	}
+	ref, err := NewReferenceMultiSearcher(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte(strings.Join(patterns, " filler ") + " aaasuffixtaila bbbsuffixtail")
+	if got, want := fast.CountBytes(text), ref.CountBytes(text); !equalCounts(got, want) {
+		t.Fatalf("deep automaton: fast %v, want %v", got, want)
+	}
+}

@@ -59,24 +59,47 @@ func (a *StreamAnalyzer) Reset() {
 // tokenizer's: words are maximal [a-zA-Z0-9'] runs, whitespace separates,
 // and any other byte starts a chunk that absorbs following UTF-8
 // continuation bytes.
+//
+// The loop is structured for per-byte cost (DESIGN.md §12): cross-block
+// carries (an open chunk or word) can only be live for the first bytes of
+// a block, so they are resolved once up front instead of being tested on
+// every byte; the main loop then dispatches on the fused streamClass
+// table (one load, one jump) and word runs advance eight bytes at a time
+// through the SWAR scanner. The differential and conformance tests pin
+// the result bit-identical to Analyze at every block split.
 func (a *StreamAnalyzer) Block(p []byte) {
 	i, n := 0, len(p)
-	for i < n {
-		c := p[i]
-		switch {
-		case a.inChunk && c&0xC0 == 0x80:
+	// An open rune chunk carried from the previous block absorbs any
+	// leading continuation bytes, then closes on the first byte that
+	// isn't one.
+	if a.inChunk {
+		for {
+			if i == n {
+				return
+			}
+			if p[i]&0xC0 != 0x80 {
+				break
+			}
 			if a.chunkLen < len(a.chunkBuf) {
-				a.chunkBuf[a.chunkLen] = c
+				a.chunkBuf[a.chunkLen] = p[i]
 			}
 			a.chunkLen++
 			i++
-		case a.inChunk:
-			a.finishChunk() // c is re-dispatched on the next iteration
-		case isWordByte(c):
+		}
+		a.finishChunk()
+	}
+	// A word carried from the previous block either continues into this
+	// block (the main loop's word case extends it via wordBuf) or ends
+	// right here with all its bytes already carried.
+	if a.inWord && i < n && !isWordByte(p[i]) {
+		a.endWord(nil)
+	}
+	for i < n {
+		c := p[i]
+		switch streamClass[c] {
+		case scWord:
 			start := i
-			for i < n && isWordByte(p[i]) {
-				i++
-			}
+			i = wordRunEnd(p, i+1)
 			a.inWord = true
 			if i == n {
 				// Word still open at the block edge: carry its bytes (only
@@ -87,20 +110,27 @@ func (a *StreamAnalyzer) Block(p []byte) {
 				return
 			}
 			a.endWord(p[start:i])
-		case a.inWord:
-			// Word carried in from the previous block ends here; its bytes
-			// are entirely in wordBuf. c is re-dispatched next iteration.
-			a.endWord(nil)
-		case isSpaceByte(c):
-			if c == '\n' {
-				a.lines++
-			}
+		case scSpace:
 			i++
-		default:
-			a.inChunk = true
+		case scNewline:
+			a.lines++
+			i++
+		default: // scOther: a rune chunk, absorbing continuation bytes inline
 			a.chunkBuf[0] = c
 			a.chunkLen = 1
 			i++
+			for i < n && p[i]&0xC0 == 0x80 {
+				if a.chunkLen < len(a.chunkBuf) {
+					a.chunkBuf[a.chunkLen] = p[i]
+				}
+				a.chunkLen++
+				i++
+			}
+			if i == n {
+				a.inChunk = true
+				return
+			}
+			a.finishChunk()
 		}
 	}
 }

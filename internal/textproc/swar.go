@@ -1,0 +1,59 @@
+package textproc
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Word-at-a-time (SWAR) scanning for the streaming analyzer's hottest
+// loop: finding the end of a [a-zA-Z0-9'] word run. Eight bytes are
+// classified per iteration with pure ALU ops — no per-byte table loads,
+// no branches inside the window.
+//
+// All of the range tricks below are only valid when every byte in the
+// word is ASCII (< 0x80): the per-lane additions in ge8 then cannot carry
+// into the next lane (max 0x7F + 0x80 = 0xFF). Windows containing a high
+// byte fall back to the per-byte table loop, which stops at that byte
+// anyway (no byte >= 0x80 is a word byte).
+
+const (
+	swarOnes uint64 = 0x0101010101010101
+	swarHigh uint64 = 0x8080808080808080
+)
+
+// ge8 returns a mask with the high bit of each lane set iff that lane's
+// byte is >= c. Valid for ASCII lanes and c <= 0x80 only.
+func ge8(x uint64, c byte) uint64 {
+	return (x + (0x80-uint64(c))*swarOnes) & swarHigh
+}
+
+// wordMask8 returns a mask with the high bit of each lane set iff that
+// lane's byte is a word byte ([a-zA-Z0-9']). ASCII lanes only.
+func wordMask8(x uint64) uint64 {
+	y := x | 0x2020202020202020 // lowercase the letters; digits/apostrophe unaffected
+	letter := ge8(y, 'a') &^ ge8(y, 'z'+1)
+	digit := ge8(x, '0') &^ ge8(x, '9'+1)
+	apos := ge8(x, '\'') &^ ge8(x, '\''+1)
+	return letter | digit | apos
+}
+
+// wordRunEnd returns the index of the first non-word byte at or after i,
+// or len(p) if the run reaches the end. Equivalent to advancing while
+// isWordByte(p[i]), eight bytes per step on plain ASCII text.
+func wordRunEnd(p []byte, i int) int {
+	n := len(p)
+	for n-i >= 8 {
+		x := binary.LittleEndian.Uint64(p[i:])
+		if x&swarHigh != 0 {
+			break // high byte in the window: the table loop stops at it
+		}
+		if m := wordMask8(x); m != swarHigh {
+			return i + bits.TrailingZeros64(^m&swarHigh)>>3
+		}
+		i += 8
+	}
+	for i < n && isWordByte(p[i]) {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,113 @@
+package vfs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/errs"
+	"repro/internal/packstore"
+)
+
+// ImportDirMapped loads every regular file under dir — the same corpus
+// ImportDir builds — through per-file read-only memory mappings, so every
+// imported file carries a zero-copy raw view alongside its streaming
+// content source. Scans over the returned FS take the engine's
+// borrowed-window path: no per-file opens during the scan, no
+// block-buffer copies, the kernels read straight out of the page cache.
+// This is delivery parity for unpacked corpora: -dir gets the same
+// zero-copy windowing ImportPackMapped gives pack shards.
+//
+// Sizes come from each file's stat at map time, and the streaming source
+// reads through the mapping itself, so the raw and streamed views are one
+// consistent snapshot even if the underlying files change afterwards. On
+// platforms (or builds) without mmap the mappings degrade to
+// heap-materialised buffers with identical behavior, exactly like the
+// pack Reader's packstore_nommap fallback.
+//
+// The returned closer unmaps every file; all raw views and streaming
+// readers obtained from the FS are invalid after it runs. Callers that
+// need bytes past that point must copy them first.
+func ImportDirMapped(dir string) (*FS, io.Closer, error) {
+	return ImportDirMappedCtx(context.Background(), dir)
+}
+
+// ImportDirMappedCtx is ImportDirMapped with cancellation, checked
+// between file mappings; on abort every mapping made so far is released
+// before the typed cancellation error is returned.
+func ImportDirMappedCtx(ctx context.Context, dir string) (*FS, io.Closer, error) {
+	// Walk first, map second: the walk order defines the corpus exactly as
+	// ImportDir does, and collecting paths up front keeps the mapping loop
+	// a flat, cancellable pass.
+	type entry struct{ name, path string }
+	var entries []entry
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, entry{name: filepath.ToSlash(rel), path: path})
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("vfs: import mapped %s: %w", dir, err)
+	}
+
+	maps := &mappingSet{}
+	fail := func(err error) (*FS, io.Closer, error) {
+		maps.Close()
+		return nil, nil, err
+	}
+	fs := NewFS()
+	for _, e := range entries {
+		if cerr := errs.FromContext(ctx); cerr != nil {
+			return fail(cerr)
+		}
+		m, err := packstore.MapFile(e.path)
+		if err != nil {
+			return fail(fmt.Errorf("vfs: import mapped %s: %w", dir, err))
+		}
+		maps.ms = append(maps.ms, m)
+		// Scans walk each file front to back; tell the OS so readahead
+		// stays aggressive. Best effort by contract.
+		_ = m.AdviseSequential()
+		data := m.Data()
+		name := e.name
+		f := NewContentFile(name, int64(len(data)), func() io.Reader {
+			// Loud failure after the import's closer runs, matching the
+			// pack reader's read-after-close contract.
+			if m.Closed() {
+				return &errReader{fmt.Errorf("vfs: %s: read after mapped dir import close", name)}
+			}
+			return &sliceReader{data: m.Data()}
+		}).WithRawBytes(data)
+		if err := fs.Add(f); err != nil {
+			return fail(fmt.Errorf("vfs: import mapped %s: %w", dir, err))
+		}
+	}
+	return fs, maps, nil
+}
+
+// mappingSet closes a group of file mappings as one unit, keeping the
+// first error.
+type mappingSet struct {
+	ms []*packstore.FileMapping
+}
+
+func (s *mappingSet) Close() error {
+	var first error
+	for _, m := range s.ms {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

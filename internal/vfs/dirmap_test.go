@@ -1,0 +1,202 @@
+package vfs
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scan"
+)
+
+// dirTestTree writes a small on-disk corpus with nested directories, an
+// empty file and some non-ASCII content, returning its root.
+func dirTestTree(t *testing.T, files int) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i := 0; i < files; i++ {
+		rel := filepath.Join("sub", "deep")
+		if i%3 == 0 {
+			rel = "."
+		}
+		if err := os.MkdirAll(filepath.Join(dir, rel), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		content := strings.Repeat("the quick brown fox. ", i*7+1) + "héllo\n"
+		if i == files/2 {
+			content = "" // one empty file: mmap of length 0 must degrade cleanly
+		}
+		name := filepath.Join(dir, rel, "f"+string(rune('a'+i%26))+strings.Repeat("x", i%4)+".txt")
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestImportDirMappedMatchesImportDir: the mapped import exposes the same
+// corpus as the streaming import — same names, sizes and bytes — plus a
+// raw view per file.
+func TestImportDirMappedMatchesImportDir(t *testing.T) {
+	dir := dirTestTree(t, 17)
+	plain, err := ImportDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, closer, err := ImportDirMapped(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+
+	if mapped.Len() != plain.Len() {
+		t.Fatalf("mapped import has %d files, plain has %d", mapped.Len(), plain.Len())
+	}
+	for _, pf := range plain.List() {
+		mf, err := mapped.Get(pf.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mf.HasRaw() {
+			t.Fatalf("mapped file %q has no raw view", mf.Name)
+		}
+		if pf.HasRaw() {
+			t.Fatalf("plain import file %q unexpectedly has a raw view", pf.Name)
+		}
+		if mf.Size != pf.Size {
+			t.Fatalf("file %q size differs: plain %d mapped %d", pf.Name, pf.Size, mf.Size)
+		}
+		want, err := pf.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := mf.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, raw) {
+			t.Fatalf("file %q raw view differs from on-disk content", pf.Name)
+		}
+		// The mapped import's streaming path reads through the same
+		// mapping, so it must agree byte for byte too.
+		streamed, err := mf.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, streamed) {
+			t.Fatalf("file %q streamed content differs under mapped import", pf.Name)
+		}
+	}
+}
+
+// TestMappedDirScanBitIdenticalToStreamingScan is the acceptance
+// differential: a fused scan over the mapped dir import is bit-identical
+// to the same scan over the streaming import, at workers 1, 2 and 8 down
+// to 3-byte blocks.
+func TestMappedDirScanBitIdenticalToStreamingScan(t *testing.T) {
+	dir := dirTestTree(t, 23)
+	plain, err := ImportDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, closer, err := ImportDirMapped(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, block := range []int{3, 4096} {
+			opts := scan.Options{Workers: workers, BlockSize: block}
+			ck := scan.NewChecksum()
+			if err := scan.Run(context.Background(), Sources(plain.List()), opts, ck); err != nil {
+				t.Fatalf("workers=%d block=%d streaming scan: %v", workers, block, err)
+			}
+			mk := scan.NewChecksum()
+			if err := scan.Run(context.Background(), Sources(mapped.List()), opts, mk); err != nil {
+				t.Fatalf("workers=%d block=%d mapped scan: %v", workers, block, err)
+			}
+			a, b := ck.Sums(), mk.Sums()
+			if len(a) != len(b) {
+				t.Fatalf("workers=%d block=%d: %d sums vs %d", workers, block, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("workers=%d block=%d file %d: streaming %+v != mapped %+v", workers, block, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestImportDirMappedScanOpensNoFiles proves the delivery-parity claim:
+// a scan over the mapped import never touches the streaming Open path —
+// every file arrives through its raw view.
+func TestImportDirMappedScanOpensNoFiles(t *testing.T) {
+	dir := dirTestTree(t, 12)
+	mapped, closer, err := ImportDirMapped(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+
+	// Wrap every source's streaming opener with a counter; the raw path
+	// must win so the counter stays at zero.
+	opens := 0
+	srcs := Sources(mapped.List())
+	for i := range srcs {
+		orig := srcs[i].Content
+		srcs[i].Content = scan.OpenFunc(func() (io.Reader, error) {
+			opens++
+			return orig.Open()
+		})
+	}
+	if err := scan.Run(context.Background(), srcs, scan.Options{Workers: 4}, scan.NewChecksum()); err != nil {
+		t.Fatal(err)
+	}
+	if opens != 0 {
+		t.Fatalf("mapped dir scan opened %d streaming readers, want 0", opens)
+	}
+}
+
+// TestImportDirMappedCancelled: a pre-cancelled context aborts the import
+// with the typed error and releases any mappings made so far.
+func TestImportDirMappedCancelled(t *testing.T) {
+	dir := dirTestTree(t, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ImportDirMappedCtx(ctx, dir); err == nil {
+		t.Fatal("cancelled mapped dir import succeeded")
+	}
+}
+
+// TestImportDirMappedCloseInvalidatesStreaming: after the closer runs,
+// streaming reads fail loudly instead of touching a dead mapping — on
+// both the mmap and fallback builds.
+func TestImportDirMappedCloseInvalidatesStreaming(t *testing.T) {
+	dir := dirTestTree(t, 6)
+	mapped, closer, err := ImportDirMapped(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := mapped.List()
+	if err := closer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nonEmpty *File
+	for i := range files {
+		if files[i].Size > 0 {
+			nonEmpty = &files[i]
+			break
+		}
+	}
+	if nonEmpty == nil {
+		t.Fatal("corpus has no non-empty file")
+	}
+	if _, err := nonEmpty.ReadAll(); err == nil || !strings.Contains(err.Error(), "after mapped dir import close") {
+		t.Fatalf("read after close returned %v, want loud close error", err)
+	}
+}

@@ -33,6 +33,9 @@ type ComplexityKernel struct {
 	name string
 
 	files []FileComplexity
+
+	// memo collapses repeated lexicon-membership lookups; see wordMemo.
+	memo wordMemo
 }
 
 // NewComplexityKernel returns a complexity kernel prototype over the
@@ -40,7 +43,7 @@ type ComplexityKernel struct {
 func NewComplexityKernel(t *textproc.Tagger) *ComplexityKernel {
 	k := &ComplexityKernel{tagger: t}
 	k.an = textproc.NewStreamAnalyzer(func(word []byte) {
-		if !t.KnownWord(word) {
+		if !k.memo.known(k.tagger, word) {
 			k.unknown++
 		}
 	})

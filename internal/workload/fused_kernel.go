@@ -31,6 +31,9 @@ type StatsComplexityKernel struct {
 	total     textproc.TextStats
 	lines     int64
 	cxFiles   []FileComplexity
+
+	// memo collapses repeated lexicon-membership lookups; see wordMemo.
+	memo wordMemo
 }
 
 // NewStatsComplexityKernel returns a fused stats+complexity kernel
@@ -38,7 +41,7 @@ type StatsComplexityKernel struct {
 func NewStatsComplexityKernel(t *textproc.Tagger) *StatsComplexityKernel {
 	k := &StatsComplexityKernel{tagger: t}
 	k.an = textproc.NewStreamAnalyzer(func(word []byte) {
-		if !t.KnownWord(word) {
+		if !k.memo.known(t, word) {
 			k.unknown++
 		}
 	})
